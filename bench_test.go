@@ -1,0 +1,437 @@
+// Package leakpruning's root benchmark file maps every table and figure of
+// the paper's evaluation to a testing.B benchmark, plus ablation benches
+// for the design decisions DESIGN.md calls out. Run them all with
+//
+//	go test -bench=. -benchmem
+//
+// End-to-end leak benchmarks report their scientific outputs as custom
+// metrics: "iterations" (how long the program survived, the unit of
+// Tables 1–2) and "prunes". Wall-clock ns/op is secondary for those.
+package leakpruning
+
+import (
+	"testing"
+	"time"
+
+	"leakpruning/internal/core"
+	"leakpruning/internal/edgetable"
+	"leakpruning/internal/gc"
+	"leakpruning/internal/harness"
+	"leakpruning/internal/heap"
+	"leakpruning/internal/jitsim"
+	"leakpruning/internal/vm"
+	"leakpruning/internal/workload"
+)
+
+// benchCap bounds healthy leak runs inside benchmarks.
+const benchCap = 2000
+
+// runLeak executes one leak/policy configuration per b.N and reports the
+// survived-iterations metric.
+func runLeak(b *testing.B, program, policy string, fullHeapOnly bool) {
+	b.Helper()
+	var iterations, prunes float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Run(harness.Config{
+			Program:      program,
+			Policy:       policy,
+			MaxIters:     benchCap,
+			MaxDuration:  20 * time.Second,
+			FullHeapOnly: fullHeapOnly,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		iterations = float64(res.Iterations)
+		prunes = float64(len(res.Prunes))
+	}
+	b.ReportMetric(iterations, "iterations")
+	b.ReportMetric(prunes, "prunes")
+}
+
+// ---------------------------------------------------------------------------
+// Table 1: ten leaks, base vs. leak pruning.
+
+func BenchmarkTable1(b *testing.B) {
+	for _, leak := range workload.LeakNames() {
+		for _, policy := range []string{"off", "default"} {
+			b.Run(leak+"/"+policy, func(b *testing.B) { runLeak(b, leak, policy, false) })
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table 2: the prediction-algorithm comparison (§6.1).
+
+func BenchmarkTable2(b *testing.B) {
+	for _, leak := range workload.LeakNames() {
+		for _, policy := range []string{"most-stale", "indiv-refs"} {
+			b.Run(leak+"/"+policy, func(b *testing.B) { runLeak(b, leak, policy, false) })
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: read-barrier run-time overhead. The microbenchmark here isolates
+// the barrier itself (ns per reference load) for both code shapes; the
+// whole-program version is cmd/overheadbench -fig 6.
+
+func benchLoads(b *testing.B, opts vm.Options) {
+	opts.HeapLimit = 32 << 20
+	opts.GCWorkers = 1
+	machine := vm.New(opts)
+	node := machine.DefineClass("Node", 1, 32)
+	g := machine.AddGlobal()
+	err := machine.RunThread("bench", func(t *vm.Thread) {
+		chain := t.New(node)
+		t.StoreGlobal(g, chain)
+		for i := 0; i < 63; i++ {
+			n := t.New(node)
+			t.Store(n, 0, t.LoadGlobal(g))
+			t.StoreGlobal(g, n)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i += 64 {
+			t.Scope(func() {
+				cur := t.LoadGlobal(g)
+				for !cur.IsNull() {
+					cur = t.Load(cur, 0)
+				}
+			})
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkFigure6ReadBarrier(b *testing.B) {
+	b.Run("barriers-off", func(b *testing.B) {
+		benchLoads(b, vm.Options{EnableBarriers: false})
+	})
+	b.Run("conditional", func(b *testing.B) {
+		benchLoads(b, vm.Options{EnableBarriers: true, Barrier: vm.BarrierConditional})
+	})
+	b.Run("unconditional", func(b *testing.B) {
+		benchLoads(b, vm.Options{EnableBarriers: true, Barrier: vm.BarrierUnconditional})
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: GC time in the Base / Observe / Select configurations.
+
+func benchGC(b *testing.B, force string) {
+	prog, err := workload.New("eclipse") // the largest microbenchmark
+	if err != nil {
+		b.Fatal(err)
+	}
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Run(harness.Config{
+			Program:    "eclipse",
+			Policy:     "off",
+			HeapLimit:  prog.DefaultHeap(),
+			MaxIters:   120,
+			ForceState: force,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = res.VMStats.GCTime
+	}
+	b.ReportMetric(float64(total.Microseconds()), "gc-us")
+}
+
+func BenchmarkFigure7GCTime(b *testing.B) {
+	b.Run("base", func(b *testing.B) { benchGC(b, "") })
+	b.Run("observe", func(b *testing.B) { benchGC(b, "observe") })
+	b.Run("select", func(b *testing.B) { benchGC(b, "select") })
+}
+
+// ---------------------------------------------------------------------------
+// §5 compilation overhead (jitsim).
+
+func BenchmarkCompile(b *testing.B) {
+	corpus := jitsim.Corpus("bench", 50, 400)
+	b.Run("plain", func(b *testing.B) {
+		c := &jitsim.Compiler{}
+		for i := 0; i < b.N; i++ {
+			jitsim.CompileCorpus("bench", c, corpus)
+		}
+	})
+	b.Run("read-barriers", func(b *testing.B) {
+		c := &jitsim.Compiler{InsertReadBarriers: true}
+		for i := 0; i < b.N; i++ {
+			jitsim.CompileCorpus("bench", c, corpus)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11 / §6.3 ablation: the 90% nearly-full threshold (option 2)
+// versus waiting for 100% fullness (option 1). The interesting output is
+// the worst iteration time: option 1's first prune comes after the VM has
+// ground through exhaustion-time collections.
+
+func BenchmarkFullHeapThreshold(b *testing.B) {
+	run := func(b *testing.B, fullOnly bool) {
+		var worst time.Duration
+		var iterations int
+		for i := 0; i < b.N; i++ {
+			res, err := harness.Run(harness.Config{
+				Program: "eclipsediff", Policy: "default",
+				MaxIters: 600, FullHeapOnly: fullOnly, RecordIterTimes: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			iterations = res.Iterations
+			worst = 0
+			for _, d := range res.IterTimes {
+				if d > worst {
+					worst = d
+				}
+			}
+		}
+		b.ReportMetric(float64(worst.Microseconds()), "worst-iter-us")
+		b.ReportMetric(float64(iterations), "iterations")
+	}
+	b.Run("option2-90pct", func(b *testing.B) { run(b, false) })
+	b.Run("option1-100pct", func(b *testing.B) { run(b, true) })
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: the conservative two-greater staleness guard (§4.2) versus a
+// one-greater guard. The looser guard prunes sooner but mispredicts
+// rarely-used live structures, ending EclipseDiff early.
+
+// guard1Policy is DefaultPolicy with the staleness margin lowered to one.
+type guard1Policy struct{}
+
+func (guard1Policy) Name() string { return "default-guard1" }
+func (guard1Policy) Begin(env core.Env) core.Cycle {
+	return &guard1Cycle{env: env}
+}
+
+type guard1Cycle struct{ env core.Env }
+
+func (c *guard1Cycle) Candidate(src, tgt heap.ClassID, stale uint8) bool {
+	return stale >= c.env.Edges.MaxStaleUseFor(src, tgt)+1 && stale >= 2
+}
+func (c *guard1Cycle) StaleEdge(src, tgt heap.ClassID, stale uint8, tgtBytes uint64) {}
+func (c *guard1Cycle) AccountStaleBytes(src, tgt heap.ClassID, bytes uint64) {
+	c.env.Edges.AddBytesUsed(src, tgt, bytes)
+}
+func (c *guard1Cycle) Finish(res gc.Result) (core.Selection, bool) {
+	entry, ok := c.env.Edges.MaxBytesUsed()
+	if !ok || entry.BytesUsed() == 0 {
+		c.env.Edges.ResetBytesUsed()
+		return nil, false
+	}
+	sel := &guard1Selection{env: c.env, src: entry.Key().Src, tgt: entry.Key().Tgt}
+	c.env.Edges.ResetBytesUsed()
+	return sel, true
+}
+
+type guard1Selection struct {
+	env      core.Env
+	src, tgt heap.ClassID
+}
+
+func (s *guard1Selection) ShouldPrune(src, tgt heap.ClassID, stale uint8) bool {
+	return src == s.src && tgt == s.tgt &&
+		stale >= s.env.Edges.MaxStaleUseFor(src, tgt)+1 && stale >= 2
+}
+func (s *guard1Selection) String() string { return "guard1 selection" }
+
+func runPolicyDirect(b *testing.B, program string, policy core.Policy, cap int) int {
+	b.Helper()
+	prog, err := workload.New(program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	machine := vm.New(vm.Options{
+		HeapLimit:      prog.DefaultHeap(),
+		EnableBarriers: true,
+		Policy:         policy,
+		GCWorkers:      2,
+	})
+	iters := 0
+	_ = machine.RunThread("bench", func(t *vm.Thread) {
+		t.Scope(func() { prog.Setup(t) })
+		for i := 0; i < cap; i++ {
+			iters = i + 1
+			t.Scope(func() { prog.Iterate(t, i) })
+		}
+	})
+	return iters
+}
+
+func BenchmarkAblationStaleGuard(b *testing.B) {
+	b.Run("guard2-paper", func(b *testing.B) {
+		var iters int
+		for i := 0; i < b.N; i++ {
+			iters = runPolicyDirect(b, "eclipsediff", core.DefaultPolicy{}, benchCap)
+		}
+		b.ReportMetric(float64(iters), "iterations")
+	})
+	b.Run("guard1-loose", func(b *testing.B) {
+		var iters int
+		for i := 0; i < b.N; i++ {
+			iters = runPolicyDirect(b, "eclipsediff", guard1Policy{}, benchCap)
+		}
+		b.ReportMetric(float64(iters), "iterations")
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: parallel tracing (§4.5). Builds a large object graph and
+// measures one full collection at different tracer widths.
+
+type benchRoots struct{ refs []heap.Ref }
+
+func (r *benchRoots) VisitRoots(fn func(heap.Ref)) {
+	for _, ref := range r.refs {
+		fn(ref)
+	}
+}
+
+func buildTraceHeap(b *testing.B) (*heap.Heap, *benchRoots) {
+	b.Helper()
+	reg := heap.NewRegistry()
+	node := reg.Define("Node", 2, 64)
+	h := heap.New(reg, 1<<30)
+	roots := &benchRoots{}
+	var build func(depth int) heap.Ref
+	build = func(depth int) heap.Ref {
+		r, err := h.Allocate(node)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if depth > 0 {
+			h.Get(r).SetRef(0, build(depth-1))
+			h.Get(r).SetRef(1, build(depth-1))
+		}
+		return r
+	}
+	for i := 0; i < 4; i++ {
+		roots.refs = append(roots.refs, build(15)) // 4 * 64K objects
+	}
+	return h, roots
+}
+
+func BenchmarkParallelTrace(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "workers-1", 2: "workers-2", 4: "workers-4", 8: "workers-8"}[workers],
+			func(b *testing.B) {
+				h, roots := buildTraceHeap(b)
+				col := gc.NewCollector(h, roots, workers)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					col.Collect(gc.Plan{Mode: gc.ModeNormal})
+				}
+			})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks of the core mechanisms.
+
+func BenchmarkEdgeTable(b *testing.B) {
+	b.Run("record-use", func(b *testing.B) {
+		tbl := edgetable.New(0)
+		for i := 0; i < b.N; i++ {
+			tbl.RecordUse(heap.ClassID(i%64+1), heap.ClassID(i%32+1), uint8(2+i%5))
+		}
+	})
+	b.Run("record-use-parallel", func(b *testing.B) {
+		tbl := edgetable.New(0)
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				tbl.RecordUse(heap.ClassID(i%64+1), heap.ClassID(i%32+1), uint8(2+i%5))
+				i++
+			}
+		})
+	})
+	b.Run("max-bytes-used", func(b *testing.B) {
+		tbl := edgetable.New(0)
+		for i := 0; i < 1000; i++ {
+			tbl.AddBytesUsed(heap.ClassID(i%100+1), heap.ClassID(i%50+1), uint64(i))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tbl.MaxBytesUsed()
+		}
+	})
+}
+
+func BenchmarkAllocation(b *testing.B) {
+	machine := vm.New(vm.Options{HeapLimit: 64 << 20, EnableBarriers: true, GCWorkers: 2})
+	cls := machine.DefineClass("Temp", 1, 64)
+	err := machine.RunThread("bench", func(t *vm.Thread) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i += 64 {
+			t.Scope(func() {
+				for j := 0; j < 64; j++ {
+					t.New(cls)
+				}
+			})
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkBarrierColdPath lives in internal/vm (it needs to re-arm slots
+// the way a collection would, which requires heap access).
+
+// ---------------------------------------------------------------------------
+// Extension: maxStaleUse decay (§6's suggested policy change for phased
+// programs like JbbMod). Compares the default algorithm against the decay
+// variant on the program whose phased access pattern motivates it.
+
+func BenchmarkExtensionDecay(b *testing.B) {
+	b.Run("jbbmod/default", func(b *testing.B) { runLeak(b, "jbbmod", "default", false) })
+	b.Run("jbbmod/decay", func(b *testing.B) { runLeak(b, "jbbmod", "decay", false) })
+}
+
+// ---------------------------------------------------------------------------
+// Substrate ablation: generational (nursery) collection vs. full-heap-only.
+// Minor collections reclaim transient garbage without tracing the whole
+// heap, so total collector time drops on churn-heavy programs.
+
+func BenchmarkGenerational(b *testing.B) {
+	run := func(b *testing.B, generational bool) {
+		var full, minor uint64
+		var gcTime time.Duration
+		for i := 0; i < b.N; i++ {
+			res, err := harness.Run(harness.Config{
+				Program:      "eclipse",
+				Policy:       "off",
+				MaxIters:     150,
+				Generational: generational,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			full = res.VMStats.Collections
+			minor = res.VMStats.MinorGCs
+			gcTime = res.VMStats.GCTime + res.VMStats.MinorGCTime
+		}
+		b.ReportMetric(float64(full), "full-gcs")
+		b.ReportMetric(float64(minor), "minor-gcs")
+		b.ReportMetric(float64(gcTime.Microseconds()), "gc-us")
+	}
+	b.Run("full-heap-only", func(b *testing.B) { run(b, false) })
+	b.Run("generational", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkOffloadVsPruning contrasts the two leak-tolerance mechanisms on
+// the all-dead ListLeak: offloading is bounded by the disk budget, pruning
+// is not.
+func BenchmarkOffloadVsPruning(b *testing.B) {
+	b.Run("listleak/melt", func(b *testing.B) { runLeak(b, "listleak", "melt", false) })
+	b.Run("listleak/default", func(b *testing.B) { runLeak(b, "listleak", "default", false) })
+}

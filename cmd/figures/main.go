@@ -1,0 +1,106 @@
+// Command figures regenerates the paper's time-series figures as CSV on
+// stdout (plot with any tool):
+//
+//	figures -fig 1    # EclipseDiff reachable memory: leak, manually fixed,
+//	                  # and with leak pruning (Figure 1)
+//	figures -fig 8    # EclipseDiff time per iteration, base vs. pruning
+//	figures -fig 9    # EclipseCP reachable memory, base vs. pruning
+//	figures -fig 10   # EclipseCP time per iteration, base vs. pruning
+//	figures -fig 11   # EclipseDiff iteration times with the 100%-full
+//	                  # threshold (option 1): the first prune spike is the
+//	                  # tall one
+//
+// Reachable-memory series sample the heap at the end of every full-heap
+// collection, exactly as the paper's figures do.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"leakpruning/internal/harness"
+)
+
+func main() {
+	var (
+		fig      = flag.Int("fig", 1, "figure to regenerate: 1, 8, 9, 10, or 11")
+		maxIters = flag.Int("max-iters", 0, "iteration cap (0 = figure-specific default)")
+		timeCap  = flag.Duration("time-cap", 2*time.Minute, "wall-clock cap per run")
+	)
+	flag.Parse()
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	switch *fig {
+	case 1:
+		iters := defaultIters(*maxIters, 2000)
+		w.Write([]string{"series", "iteration", "reachable_bytes"})
+		memorySeries(w, "leak", harness.Config{Program: "eclipsediff", Policy: "off", MaxIters: iters, MaxDuration: *timeCap})
+		memorySeries(w, "fixed", harness.Config{Program: "eclipsediff-fixed", Policy: "off", MaxIters: iters, MaxDuration: *timeCap})
+		memorySeries(w, "pruning", harness.Config{Program: "eclipsediff", Policy: "default", MaxIters: iters, MaxDuration: *timeCap})
+	case 8:
+		iters := defaultIters(*maxIters, 8000)
+		w.Write([]string{"series", "iteration", "seconds"})
+		timeSeries(w, "base", harness.Config{Program: "eclipsediff", Policy: "off", MaxIters: iters, MaxDuration: *timeCap, RecordIterTimes: true})
+		timeSeries(w, "pruning", harness.Config{Program: "eclipsediff", Policy: "default", MaxIters: iters, MaxDuration: *timeCap, RecordIterTimes: true})
+	case 9:
+		iters := defaultIters(*maxIters, 4000)
+		w.Write([]string{"series", "iteration", "reachable_bytes"})
+		memorySeries(w, "base", harness.Config{Program: "eclipsecp", Policy: "off", MaxIters: iters, MaxDuration: *timeCap})
+		memorySeries(w, "pruning", harness.Config{Program: "eclipsecp", Policy: "default", MaxIters: iters, MaxDuration: *timeCap})
+	case 10:
+		iters := defaultIters(*maxIters, 4000)
+		w.Write([]string{"series", "iteration", "seconds"})
+		timeSeries(w, "base", harness.Config{Program: "eclipsecp", Policy: "off", MaxIters: iters, MaxDuration: *timeCap, RecordIterTimes: true})
+		timeSeries(w, "pruning", harness.Config{Program: "eclipsecp", Policy: "default", MaxIters: iters, MaxDuration: *timeCap, RecordIterTimes: true})
+	case 11:
+		iters := defaultIters(*maxIters, 1500)
+		w.Write([]string{"series", "iteration", "seconds"})
+		timeSeries(w, "pruning-100pct", harness.Config{
+			Program: "eclipsediff", Policy: "default", FullHeapOnly: true,
+			MaxIters: iters, MaxDuration: *timeCap, RecordIterTimes: true,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "figures: unknown figure %d\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func defaultIters(flagVal, def int) int {
+	if flagVal > 0 {
+		return flagVal
+	}
+	return def
+}
+
+func mustRun(cfg harness.Config) harness.Result {
+	res, err := harness.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "# %s\n", res.Describe())
+	return res
+}
+
+// memorySeries emits reachable bytes at the end of every full-heap
+// collection.
+func memorySeries(w *csv.Writer, series string, cfg harness.Config) {
+	res := mustRun(cfg)
+	for _, s := range res.GCSamples {
+		w.Write([]string{series, strconv.Itoa(s.Iteration), strconv.FormatUint(s.BytesLive, 10)})
+	}
+}
+
+// timeSeries emits per-iteration wall time in seconds.
+func timeSeries(w *csv.Writer, series string, cfg harness.Config) {
+	res := mustRun(cfg)
+	for i, d := range res.IterTimes {
+		w.Write([]string{series, strconv.Itoa(i), strconv.FormatFloat(d.Seconds(), 'g', 6, 64)})
+	}
+}

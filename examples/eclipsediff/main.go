@@ -1,0 +1,64 @@
+// EclipseDiff example: reproduce the paper's headline scenario (Figure 1)
+// with the EclipseDiff workload — reachable memory grows without bound
+// until the VM would throw an out-of-memory error; with leak pruning the
+// dead diff-result subtrees are reclaimed and the program keeps running.
+//
+//	go run ./examples/eclipsediff
+package main
+
+import (
+	"fmt"
+
+	"leakpruning/internal/harness"
+)
+
+func main() {
+	fmt.Println("EclipseDiff (Eclipse bug #115789): structural compares leak their results")
+	fmt.Println()
+
+	base, err := harness.Run(harness.Config{
+		Program: "eclipsediff", Policy: "off", MaxIters: 5000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("unmodified VM:  %s\n", base.Describe())
+
+	pruned, err := harness.Run(harness.Config{
+		Program: "eclipsediff", Policy: "default", MaxIters: 5000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("leak pruning:   %s\n", pruned.Describe())
+	fmt.Println()
+
+	fmt.Println("reachable memory at full-heap collections (the Figure 1 series):")
+	fmt.Println("  iteration   base KB    pruning KB")
+	// Align the two series by iteration, coarsely.
+	bi, pi := 0, 0
+	for step := 0; step < 12; step++ {
+		iter := step * pruned.Iterations / 12
+		for bi+1 < len(base.GCSamples) && base.GCSamples[bi+1].Iteration <= iter {
+			bi++
+		}
+		for pi+1 < len(pruned.GCSamples) && pruned.GCSamples[pi+1].Iteration <= iter {
+			pi++
+		}
+		baseKB := "-"
+		if iter <= base.Iterations && len(base.GCSamples) > 0 {
+			baseKB = fmt.Sprintf("%d", base.GCSamples[bi].BytesLive>>10)
+		}
+		fmt.Printf("  %9d   %7s    %7d\n", iter, baseKB, pruned.GCSamples[pi].BytesLive>>10)
+	}
+
+	fmt.Println()
+	fmt.Println("what leak pruning reclaimed (first prune events):")
+	for i, ev := range pruned.Prunes {
+		if i >= 8 {
+			fmt.Printf("  ... and %d more prune events\n", len(pruned.Prunes)-8)
+			break
+		}
+		fmt.Printf("  gc %3d: %-60s %6d refs, %8d bytes\n", ev.GCIndex, ev.Selection, ev.PrunedRefs, ev.BytesFreed)
+	}
+}

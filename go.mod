@@ -1,0 +1,3 @@
+module leakpruning
+
+go 1.22

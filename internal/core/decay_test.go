@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"leakpruning/internal/gc"
+)
+
+func TestDecayPolicyDelegatesToDefault(t *testing.T) {
+	env := testEnv()
+	p := &DecayPolicy{Period: 100}
+	c := p.Begin(env)
+	if !c.Candidate(1, 2, 2) {
+		t.Fatal("decay cycle must use the default candidate guard")
+	}
+	c.AccountStaleBytes(1, 2, 1234)
+	sel, ok := c.Finish(gc.Result{})
+	if !ok {
+		t.Fatal("no selection")
+	}
+	if !sel.ShouldPrune(1, 2, 2) {
+		t.Fatal("selection must prune like the default")
+	}
+}
+
+func TestDecayPolicyDecaysOnPeriod(t *testing.T) {
+	env := testEnv()
+	env.Edges.RecordUse(1, 2, 5)
+	p := &DecayPolicy{Period: 2}
+	p.Begin(env) // cycle 1: no decay
+	if got := env.Edges.MaxStaleUseFor(1, 2); got != 5 {
+		t.Fatalf("maxStaleUse decayed early: %d", got)
+	}
+	p.Begin(env) // cycle 2: decay
+	if got := env.Edges.MaxStaleUseFor(1, 2); got != 4 {
+		t.Fatalf("maxStaleUse after decay = %d, want 4", got)
+	}
+	p.Begin(env)
+	p.Begin(env)
+	if got := env.Edges.MaxStaleUseFor(1, 2); got != 3 {
+		t.Fatalf("maxStaleUse after second decay = %d, want 3", got)
+	}
+}
+
+func TestDecayPolicyName(t *testing.T) {
+	p, err := PolicyByName("decay")
+	if err != nil || p.Name() != "decay" {
+		t.Fatalf("PolicyByName(decay) = %v, %v", p, err)
+	}
+}

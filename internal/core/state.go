@@ -1,0 +1,46 @@
+// Package core implements leak pruning itself: the INACTIVE → OBSERVE →
+// SELECT → PRUNE state machine driven by heap fullness after each full-heap
+// collection (§3), the prediction policies that choose which references to
+// poison (§4, §6.1), and the deferred out-of-memory bookkeeping that
+// preserves program semantics (§2).
+//
+// The controller owns policy; the collector (package gc) supplies
+// mechanism. Each collection cycle, the VM asks the controller for a
+// gc.Plan, runs the collection, and reports the result back; the controller
+// transitions states and, in SELECT cycles, chooses what the next PRUNE
+// cycle will poison.
+package core
+
+// State is the leak-pruning controller state (§3, Figure 2).
+type State int
+
+const (
+	// StateInactive performs no analysis: reachable memory is below the
+	// expected-use threshold, so the program is behaving normally.
+	StateInactive State = iota
+	// StateObserve tracks staleness (object counters, reference tags, edge
+	// table maxStaleUse) after reachable memory first exceeds the expected
+	// threshold. Entering OBSERVE is permanent.
+	StateObserve
+	// StateSelect runs the two-phase closure when the heap is nearly full,
+	// choosing an edge type to prune.
+	StateSelect
+	// StatePrune poisons the selected references during the next collection
+	// and reclaims everything reachable only through them.
+	StatePrune
+)
+
+// String returns the paper's name for the state.
+func (s State) String() string {
+	switch s {
+	case StateInactive:
+		return "INACTIVE"
+	case StateObserve:
+		return "OBSERVE"
+	case StateSelect:
+		return "SELECT"
+	case StatePrune:
+		return "PRUNE"
+	}
+	return "UNKNOWN"
+}

@@ -1,0 +1,282 @@
+// Package edgetable implements the paper's edge table (§4.1–4.2): a
+// fixed-size, closed-hashing table keyed by (source class, target class)
+// that summarizes an equivalence relation over heap references. Each entry
+// records
+//
+//   - maxStaleUse: the all-time maximum stale-counter value observed when
+//     the program used (read) a reference of this edge type — edge types
+//     that are stale for a long time but then used again get a high value
+//     and are protected from pruning; and
+//   - bytesUsed: the bytes reachable from stale roots of this edge type,
+//     computed by the SELECT state's stale transitive closure and reset
+//     after each selection.
+//
+// Entries are never deleted (§4.5). Following the paper's prototype, entry
+// field updates use atomics rather than per-entry locks: selection is not
+// sensitive to exact values, but we still avoid torn or lost updates.
+package edgetable
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"leakpruning/internal/heap"
+)
+
+// DefaultSlots is the paper's table size: 16K slots of four words (§6.2).
+const DefaultSlots = 16 * 1024
+
+// Key identifies an edge type: the classes of a reference's source and
+// target objects.
+type Key struct {
+	Src, Tgt heap.ClassID
+}
+
+// Entry is one edge-type record. Fields are updated atomically; read them
+// through the accessor methods.
+type Entry struct {
+	key          Key
+	used         uint32 // 1 once the slot is occupied (set under t.mu)
+	maxStaleUse  uint32
+	bytesUsed    uint64
+	timesPruned  uint64 // diagnostic: how many refs of this type were poisoned
+	timesUpdated uint64 // diagnostic: barrier maxStaleUse updates
+}
+
+// Key returns the entry's edge type.
+func (e *Entry) Key() Key { return e.key }
+
+// MaxStaleUse returns the recorded maximum staleness-at-use.
+func (e *Entry) MaxStaleUse() uint8 { return uint8(atomic.LoadUint32(&e.maxStaleUse)) }
+
+// BytesUsed returns the bytes attributed by the most recent stale closure.
+func (e *Entry) BytesUsed() uint64 { return atomic.LoadUint64(&e.bytesUsed) }
+
+// TimesPruned returns how many references of this type have been poisoned.
+func (e *Entry) TimesPruned() uint64 { return atomic.LoadUint64(&e.timesPruned) }
+
+// Table is the fixed-size closed-hashing edge table.
+type Table struct {
+	mu    sync.Mutex // serializes inserts only (rare; §4.5)
+	slots []Entry
+	count atomic.Uint64
+}
+
+// New creates a table with the given number of slots (rounded up to a power
+// of two; DefaultSlots if n <= 0).
+func New(n int) *Table {
+	if n <= 0 {
+		n = DefaultSlots
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &Table{slots: make([]Entry, size)}
+}
+
+// Len returns the number of occupied entries — the paper's "edge types"
+// column in Table 2 (the table never shrinks).
+func (t *Table) Len() int { return int(t.count.Load()) }
+
+// Cap returns the slot count.
+func (t *Table) Cap() int { return len(t.slots) }
+
+func (t *Table) hash(k Key) int {
+	// Fibonacci hashing over the packed pair; the table size is a power of
+	// two so we mask.
+	h := (uint64(k.Src)<<32 | uint64(k.Tgt)) * 0x9e3779b97f4a7c15
+	return int(h>>33) & (len(t.slots) - 1)
+}
+
+// lookup finds the entry for k, or nil without inserting.
+func (t *Table) lookup(k Key) *Entry {
+	mask := len(t.slots) - 1
+	for i, probes := t.hash(k), 0; probes < len(t.slots); i, probes = (i+1)&mask, probes+1 {
+		e := &t.slots[i]
+		if atomic.LoadUint32(&e.used) == 0 {
+			return nil
+		}
+		if e.key == k {
+			return e
+		}
+	}
+	return nil
+}
+
+// Get returns the entry for k if present.
+func (t *Table) Get(src, tgt heap.ClassID) (*Entry, bool) {
+	e := t.lookup(Key{src, tgt})
+	return e, e != nil
+}
+
+// GetOrInsert returns the entry for k, creating it if needed. Insertion
+// takes the global table lock; lookups of existing entries are lock-free,
+// matching the paper's observation that new edge types are rare. When the
+// table is full the key's canonical entry is returned via open addressing
+// wraparound failure — the table panics instead, since the paper treats the
+// fixed size as ample (16K slots versus a few thousand edge types for
+// Eclipse).
+func (t *Table) GetOrInsert(src, tgt heap.ClassID) *Entry {
+	k := Key{src, tgt}
+	if e := t.lookup(k); e != nil {
+		return e
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	mask := len(t.slots) - 1
+	for i, probes := t.hash(k), 0; probes < len(t.slots); i, probes = (i+1)&mask, probes+1 {
+		e := &t.slots[i]
+		if atomic.LoadUint32(&e.used) == 0 {
+			e.key = k
+			atomic.StoreUint32(&e.used, 1) // publish after key write
+			t.count.Add(1)
+			return e
+		}
+		if e.key == k {
+			return e
+		}
+	}
+	panic(fmt.Sprintf("edgetable: table full (%d slots)", len(t.slots)))
+}
+
+// MaxStaleUseFor returns the recorded maxStaleUse for the edge type, or 0
+// when the edge type has never been observed — the conservative default
+// that makes never-reused reference types prunable at staleness ≥ 2.
+func (t *Table) MaxStaleUseFor(src, tgt heap.ClassID) uint8 {
+	if e := t.lookup(Key{src, tgt}); e != nil {
+		return e.MaxStaleUse()
+	}
+	return 0
+}
+
+// RecordUse is the read barrier's cold-path edge update (§4.1): when the
+// program uses a reference whose target has stale counter ≥ 2, raise the
+// edge type's maxStaleUse to that value.
+func (t *Table) RecordUse(src, tgt heap.ClassID, stale uint8) {
+	if stale < 2 {
+		return
+	}
+	e := t.GetOrInsert(src, tgt)
+	atomic.AddUint64(&e.timesUpdated, 1)
+	for {
+		cur := atomic.LoadUint32(&e.maxStaleUse)
+		if uint32(stale) <= cur {
+			return
+		}
+		if atomic.CompareAndSwapUint32(&e.maxStaleUse, cur, uint32(stale)) {
+			return
+		}
+	}
+}
+
+// AddBytesUsed attributes bytes reachable from a stale root of this edge
+// type (the SELECT state's stale closure, §4.2).
+func (t *Table) AddBytesUsed(src, tgt heap.ClassID, bytes uint64) {
+	e := t.GetOrInsert(src, tgt)
+	atomic.AddUint64(&e.bytesUsed, bytes)
+}
+
+// RecordPrune counts a poisoned reference of this edge type (diagnostics
+// for the paper's optional pruning report, §3.2).
+func (t *Table) RecordPrune(src, tgt heap.ClassID) {
+	if e := t.lookup(Key{src, tgt}); e != nil {
+		atomic.AddUint64(&e.timesPruned, 1)
+	}
+}
+
+// MaxBytesUsed returns the occupied entry with the greatest bytesUsed, if
+// any entry has nonzero bytesUsed — the SELECT state's choice (§4.2). Ties
+// break toward the lower slot index for determinism.
+func (t *Table) MaxBytesUsed() (*Entry, bool) {
+	var best *Entry
+	var bestBytes uint64
+	for i := range t.slots {
+		e := &t.slots[i]
+		if atomic.LoadUint32(&e.used) == 0 {
+			continue
+		}
+		if b := e.BytesUsed(); b > bestBytes {
+			best, bestBytes = e, b
+		}
+	}
+	return best, best != nil
+}
+
+// DecayMaxStaleUse lowers every entry's maxStaleUse by one (floored at
+// zero). The paper suggests periodic decay as a policy extension for
+// phased programs like JbbMod, whose reference types are used rarely enough
+// to accrue a high maxStaleUse that then protects dead data forever (§6).
+func (t *Table) DecayMaxStaleUse() {
+	for i := range t.slots {
+		e := &t.slots[i]
+		if atomic.LoadUint32(&e.used) == 0 {
+			continue
+		}
+		for {
+			cur := atomic.LoadUint32(&e.maxStaleUse)
+			if cur == 0 {
+				break
+			}
+			if atomic.CompareAndSwapUint32(&e.maxStaleUse, cur, cur-1) {
+				break
+			}
+		}
+	}
+}
+
+// ResetBytesUsed zeroes every entry's bytesUsed, as the SELECT state does
+// after choosing an edge type (§4.2).
+func (t *Table) ResetBytesUsed() {
+	for i := range t.slots {
+		e := &t.slots[i]
+		if atomic.LoadUint32(&e.used) != 0 {
+			atomic.StoreUint64(&e.bytesUsed, 0)
+		}
+	}
+}
+
+// ForEach calls fn on every occupied entry.
+func (t *Table) ForEach(fn func(*Entry)) {
+	for i := range t.slots {
+		e := &t.slots[i]
+		if atomic.LoadUint32(&e.used) != 0 {
+			fn(e)
+		}
+	}
+}
+
+// Snapshot describes one entry for reporting, with class names resolved.
+type Snapshot struct {
+	Src, Tgt    string
+	MaxStaleUse uint8
+	BytesUsed   uint64
+	TimesPruned uint64
+}
+
+// Snapshots returns all occupied entries resolved against reg, sorted by
+// descending bytesUsed then by name for stable output.
+func (t *Table) Snapshots(reg *heap.Registry) []Snapshot {
+	var out []Snapshot
+	t.ForEach(func(e *Entry) {
+		out = append(out, Snapshot{
+			Src:         reg.Name(e.key.Src),
+			Tgt:         reg.Name(e.key.Tgt),
+			MaxStaleUse: e.MaxStaleUse(),
+			BytesUsed:   e.BytesUsed(),
+			TimesPruned: e.TimesPruned(),
+		})
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].BytesUsed != out[j].BytesUsed {
+			return out[i].BytesUsed > out[j].BytesUsed
+		}
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Tgt < out[j].Tgt
+	})
+	return out
+}

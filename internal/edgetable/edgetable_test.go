@@ -1,0 +1,223 @@
+package edgetable
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"leakpruning/internal/heap"
+)
+
+func TestNewSizeRounding(t *testing.T) {
+	if got := New(0).Cap(); got != DefaultSlots {
+		t.Fatalf("default cap = %d", got)
+	}
+	if got := New(100).Cap(); got != 128 {
+		t.Fatalf("cap rounded to %d, want 128", got)
+	}
+}
+
+func TestGetOrInsert(t *testing.T) {
+	tbl := New(64)
+	e1 := tbl.GetOrInsert(1, 2)
+	e2 := tbl.GetOrInsert(1, 2)
+	if e1 != e2 {
+		t.Fatal("GetOrInsert must return the same entry for the same key")
+	}
+	e3 := tbl.GetOrInsert(2, 1)
+	if e3 == e1 {
+		t.Fatal("(1,2) and (2,1) are distinct edge types")
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	if _, ok := tbl.Get(1, 2); !ok {
+		t.Fatal("Get missed an inserted entry")
+	}
+	if _, ok := tbl.Get(9, 9); ok {
+		t.Fatal("Get found a missing entry")
+	}
+}
+
+func TestRecordUseMaxSemantics(t *testing.T) {
+	tbl := New(64)
+	// Uses below staleness 2 are not recorded (§4.1: "a value of 1 is not
+	// very stale").
+	tbl.RecordUse(1, 2, 1)
+	if tbl.Len() != 0 {
+		t.Fatal("stale-1 use must not create an entry")
+	}
+	tbl.RecordUse(1, 2, 3)
+	if got := tbl.MaxStaleUseFor(1, 2); got != 3 {
+		t.Fatalf("maxStaleUse = %d", got)
+	}
+	tbl.RecordUse(1, 2, 2) // lower: no change
+	if got := tbl.MaxStaleUseFor(1, 2); got != 3 {
+		t.Fatalf("maxStaleUse regressed to %d", got)
+	}
+	tbl.RecordUse(1, 2, 5)
+	if got := tbl.MaxStaleUseFor(1, 2); got != 5 {
+		t.Fatalf("maxStaleUse = %d, want 5", got)
+	}
+	// Unknown edge types default to 0 — the conservative value that makes
+	// never-reused types prunable at staleness >= 2.
+	if got := tbl.MaxStaleUseFor(7, 7); got != 0 {
+		t.Fatalf("unknown edge maxStaleUse = %d", got)
+	}
+}
+
+func TestBytesUsedSelectReset(t *testing.T) {
+	tbl := New(64)
+	tbl.AddBytesUsed(1, 2, 100)
+	tbl.AddBytesUsed(1, 2, 20)
+	tbl.AddBytesUsed(3, 4, 90)
+	best, ok := tbl.MaxBytesUsed()
+	if !ok {
+		t.Fatal("MaxBytesUsed found nothing")
+	}
+	if best.Key() != (Key{1, 2}) || best.BytesUsed() != 120 {
+		t.Fatalf("best = %v/%d", best.Key(), best.BytesUsed())
+	}
+	tbl.ResetBytesUsed()
+	tbl.ForEach(func(e *Entry) {
+		if e.BytesUsed() != 0 {
+			t.Fatalf("entry %v not reset", e.Key())
+		}
+	})
+	// maxStaleUse survives the reset: it is an all-time maximum (§4.1).
+	tbl.RecordUse(1, 2, 4)
+	tbl.ResetBytesUsed()
+	if tbl.MaxStaleUseFor(1, 2) != 4 {
+		t.Fatal("ResetBytesUsed must not clear maxStaleUse")
+	}
+}
+
+func TestRecordPrune(t *testing.T) {
+	tbl := New(64)
+	tbl.RecordPrune(1, 2) // no entry: silently ignored
+	e := tbl.GetOrInsert(1, 2)
+	tbl.RecordPrune(1, 2)
+	tbl.RecordPrune(1, 2)
+	if e.TimesPruned() != 2 {
+		t.Fatalf("TimesPruned = %d", e.TimesPruned())
+	}
+}
+
+func TestSnapshotsSorted(t *testing.T) {
+	reg := heap.NewRegistry()
+	a := reg.Define("A", 0, 0)
+	b := reg.Define("B", 0, 0)
+	c := reg.Define("C", 0, 0)
+	tbl := New(64)
+	tbl.AddBytesUsed(a, b, 10)
+	tbl.AddBytesUsed(b, c, 200)
+	tbl.AddBytesUsed(a, c, 10)
+	snaps := tbl.Snapshots(reg)
+	if len(snaps) != 3 {
+		t.Fatalf("got %d snapshots", len(snaps))
+	}
+	if snaps[0].Src != "B" || snaps[0].Tgt != "C" {
+		t.Fatalf("largest entry first, got %+v", snaps[0])
+	}
+	// Ties break by name for stable output.
+	if snaps[1].Src != "A" || snaps[1].Tgt != "B" {
+		t.Fatalf("tie order wrong: %+v", snaps[1])
+	}
+}
+
+func TestTableFullPanics(t *testing.T) {
+	tbl := New(4) // rounds to 4 slots
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inserting past capacity must panic")
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		tbl.GetOrInsert(heap.ClassID(i+1), heap.ClassID(i+1))
+	}
+}
+
+func TestConcurrentRecordUse(t *testing.T) {
+	tbl := New(1024)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tbl.RecordUse(heap.ClassID(i%17+1), heap.ClassID(i%13+1), uint8(2+(i+w)%5))
+				tbl.AddBytesUsed(heap.ClassID(i%17+1), heap.ClassID(i%13+1), 8)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tbl.Len() == 0 || tbl.Len() > 17*13 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	// Every recorded maxStaleUse must be in the range that was written.
+	tbl.ForEach(func(e *Entry) {
+		if m := e.MaxStaleUse(); m < 2 || m > 6 {
+			t.Fatalf("maxStaleUse out of range: %d", m)
+		}
+	})
+}
+
+// TestMaxStaleUseQuick: maxStaleUse equals the maximum of all recorded uses
+// at staleness >= 2, for arbitrary use sequences.
+func TestMaxStaleUseQuick(t *testing.T) {
+	prop := func(uses []uint8) bool {
+		tbl := New(16)
+		want := uint8(0)
+		for _, u := range uses {
+			u %= 8
+			tbl.RecordUse(1, 2, u)
+			if u >= 2 && u > want {
+				want = u
+			}
+		}
+		return tbl.MaxStaleUseFor(1, 2) == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBytesUsedSumQuick: bytesUsed accumulates exactly.
+func TestBytesUsedSumQuick(t *testing.T) {
+	prop := func(adds []uint16) bool {
+		tbl := New(16)
+		var want uint64
+		for _, a := range adds {
+			tbl.AddBytesUsed(3, 4, uint64(a))
+			want += uint64(a)
+		}
+		e, ok := tbl.Get(3, 4)
+		if len(adds) == 0 {
+			return !ok
+		}
+		return ok && e.BytesUsed() == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecayMaxStaleUse(t *testing.T) {
+	tbl := New(64)
+	tbl.RecordUse(1, 2, 5)
+	tbl.RecordUse(3, 4, 2)
+	tbl.DecayMaxStaleUse()
+	if got := tbl.MaxStaleUseFor(1, 2); got != 4 {
+		t.Fatalf("decayed maxStaleUse = %d, want 4", got)
+	}
+	if got := tbl.MaxStaleUseFor(3, 4); got != 1 {
+		t.Fatalf("decayed maxStaleUse = %d, want 1", got)
+	}
+	// Decay floors at zero.
+	for i := 0; i < 10; i++ {
+		tbl.DecayMaxStaleUse()
+	}
+	if got := tbl.MaxStaleUseFor(3, 4); got != 0 {
+		t.Fatalf("maxStaleUse after repeated decay = %d", got)
+	}
+}

@@ -1,0 +1,283 @@
+// Package gc implements the stop-the-world parallel tracing collector the
+// leak-pruning runtime piggybacks on. It is modelled on MMTk's parallel
+// mark-sweep (§5): worker threads share a global pool of work batches and
+// keep local queues; objects are claimed with a compare-and-swap on their
+// mark word so no object is scanned twice.
+//
+// Leak pruning divides the regular transitive closure into the in-use
+// closure and the stale closure (§4.2) and, in the PRUNE state, poisons
+// selected references instead of tracing them (§4.3). The collector exposes
+// those behaviours through a per-cycle Plan of callbacks so the pruning
+// controller (package core) owns all policy and the collector stays
+// mechanism-only.
+package gc
+
+import (
+	"sync"
+	"time"
+
+	"leakpruning/internal/heap"
+)
+
+// Mode selects the closure structure for one collection cycle.
+type Mode int
+
+const (
+	// ModeNormal is a regular full-heap collection: one transitive closure.
+	ModeNormal Mode = iota
+	// ModeSelect runs the SELECT state's two closures: the in-use closure
+	// defers candidate references to a queue, then the stale closure traces
+	// from each candidate, attributing reachable bytes to its edge type.
+	ModeSelect
+	// ModePrune runs only the in-use closure and poisons references the
+	// plan selects instead of tracing them; sweep then reclaims everything
+	// that was reachable only through poisoned references.
+	ModePrune
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeNormal:
+		return "normal"
+	case ModeSelect:
+		return "select"
+	case ModePrune:
+		return "prune"
+	}
+	return "unknown"
+}
+
+// Plan configures one collection cycle. All callbacks may be invoked
+// concurrently from tracer workers and must be safe for that.
+type Plan struct {
+	Mode Mode
+
+	// TagRefs makes the tracer set the stale-check tag (heap.TagStale) on
+	// every object-to-object reference it scans, arming the read barrier's
+	// cold path (§4.1). Enabled from the OBSERVE state onward.
+	TagRefs bool
+
+	// AgeStaleness makes the sweep age every live object's stale counter
+	// using the logarithmic rule (§4.1). Enabled from OBSERVE onward.
+	AgeStaleness bool
+
+	// Candidate reports whether a src→tgt reference whose target has the
+	// given stale counter should be deferred to the stale closure
+	// (ModeSelect only; nil means no candidates are taken).
+	Candidate func(src, tgt heap.ClassID, stale uint8) bool
+
+	// StaleEdge is called during the in-use closure for every traced
+	// reference whose target has stale counter >= 2, with the target's own
+	// size. The individual-references baseline (§6.1) accounts bytes here
+	// instead of running the stale closure.
+	StaleEdge func(src, tgt heap.ClassID, stale uint8, tgtBytes uint64)
+
+	// AccountStaleBytes receives, for each candidate root, the bytes the
+	// stale closure could attribute to it (objects not already reached by
+	// the in-use closure). ModeSelect only.
+	AccountStaleBytes func(src, tgt heap.ClassID, bytes uint64)
+
+	// ShouldPrune decides whether to poison a src→tgt reference instead of
+	// tracing it (ModePrune only).
+	ShouldPrune func(src, tgt heap.ClassID, stale uint8) bool
+
+	// OnPrune is called once per poisoned reference with the source object,
+	// its slot, and the edge classes (diagnostics and precise trap
+	// messages).
+	OnPrune func(srcID heap.ObjectID, slot int, src, tgt heap.ClassID)
+
+	// OnFree is called for every object the sweep reclaims, before its
+	// storage is released (the VM uses this to run finalizers, §2).
+	OnFree func(id heap.ObjectID, class heap.ClassID, size uint64)
+}
+
+// Result summarizes one collection cycle.
+type Result struct {
+	Mode  Mode
+	Epoch uint32
+	// Index is the 1-based count of full-heap collections performed by this
+	// collector; it is the staleness clock.
+	Index uint64
+
+	BytesLive    uint64
+	ObjectsLive  uint64
+	BytesFreed   uint64
+	ObjectsFreed uint64
+
+	// Candidates is the number of references deferred to the stale closure.
+	Candidates int
+	// StaleBytes is the total bytes the stale closure attributed.
+	StaleBytes uint64
+	// PrunedRefs is the number of references poisoned this cycle.
+	PrunedRefs int
+	// MaxStale is the highest stale counter among live objects after aging.
+	MaxStale uint8
+
+	Duration      time.Duration
+	MarkDuration  time.Duration
+	StaleDuration time.Duration
+	SweepDuration time.Duration
+}
+
+// RootVisitor is implemented by the VM to expose its roots (thread stacks,
+// globals, registers). The collector calls fn with each root reference; tag
+// bits on roots are ignored (root slots are never tagged: the barrier only
+// instruments heap loads).
+type RootVisitor interface {
+	VisitRoots(fn func(heap.Ref))
+}
+
+// Collector owns the epoch and GC-count state for one heap.
+type Collector struct {
+	heap    *heap.Heap
+	roots   RootVisitor
+	workers int
+
+	epoch      uint32
+	index      uint64
+	minorIndex uint64
+}
+
+// NewCollector creates a collector with the given parallelism (values < 1
+// mean 1). The zero epoch never marks anything, so freshly allocated
+// objects are unmarked until their first collection.
+func NewCollector(h *heap.Heap, roots RootVisitor, workers int) *Collector {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Collector{heap: h, roots: roots, workers: workers}
+}
+
+// Workers returns the configured tracer parallelism.
+func (c *Collector) Workers() int { return c.workers }
+
+// Index returns the number of full-heap collections performed so far.
+func (c *Collector) Index() uint64 { return c.index }
+
+// Collect runs one stop-the-world collection cycle under the given plan.
+// The caller must have stopped all mutator threads.
+func (c *Collector) Collect(plan Plan) Result {
+	start := time.Now()
+	c.epoch++
+	c.index++
+	res := Result{Mode: plan.Mode, Epoch: c.epoch, Index: c.index}
+
+	// Phase 1: the (in-use) transitive closure from the roots.
+	tr := newTracer(c.heap, c.epoch, plan, c.workers)
+	markStart := time.Now()
+	c.roots.VisitRoots(func(r heap.Ref) {
+		if r.IsNull() {
+			return
+		}
+		tr.markRoot(r.Untagged())
+	})
+	tr.run()
+	res.MarkDuration = time.Since(markStart)
+
+	// Phase 2 (SELECT only): the stale closure from the candidate queue.
+	if plan.Mode == ModeSelect && len(tr.candidates) > 0 {
+		staleStart := time.Now()
+		res.StaleBytes = tr.staleClosure()
+		res.StaleDuration = time.Since(staleStart)
+	}
+	res.Candidates = len(tr.candidates)
+	res.PrunedRefs = int(tr.prunedRefs.Load())
+
+	// Phase 3: sweep, staleness aging, and accounting.
+	sweepStart := time.Now()
+	sw := c.sweep(plan)
+	res.SweepDuration = time.Since(sweepStart)
+	res.BytesFreed = sw.bytesFreed
+	res.ObjectsFreed = sw.objectsFreed
+	res.BytesLive = sw.bytesLive
+	res.ObjectsLive = sw.objectsLive
+	res.MaxStale = sw.maxStale
+
+	// Generational bookkeeping: everything that survived a full-heap
+	// collection is old now.
+	for _, id := range c.heap.YoungIDs() {
+		if obj, ok := c.heap.Lookup(id); ok {
+			obj.Promote()
+		}
+	}
+	c.heap.ResetYoung()
+
+	res.Duration = time.Since(start)
+	return res
+}
+
+type sweepResult struct {
+	bytesLive, objectsLive   uint64
+	bytesFreed, objectsFreed uint64
+	maxStale                 uint8
+}
+
+// sweep reclaims every unmarked object and ages live objects' stale
+// counters when the plan asks for it. The scan phase is sharded across the
+// tracer's workers; freeing (and the finalizer hook) runs serially
+// afterwards so finalizers never observe concurrency.
+func (c *Collector) sweep(plan Plan) sweepResult {
+	maxID := c.heap.MaxID()
+	workers := c.workers
+	if span := int(maxID); workers > 1 && span < 4096 {
+		workers = 1 // sharding overhead dominates on tiny heaps
+	}
+
+	results := make([]sweepResult, workers)
+	deads := make([][]heap.ObjectID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sr := &results[w]
+			lo := heap.ObjectID(1 + (uint64(w)*uint64(maxID-1))/uint64(workers))
+			hi := heap.ObjectID(1 + (uint64(w+1)*uint64(maxID-1))/uint64(workers))
+			for id := lo; id < hi; id++ {
+				obj, ok := c.heap.Lookup(id)
+				if !ok {
+					continue
+				}
+				if obj.Marked(c.epoch) {
+					sr.bytesLive += obj.Size()
+					sr.objectsLive++
+					s := obj.Stale()
+					if plan.AgeStaleness {
+						s = obj.AgeStale(c.index)
+					}
+					if s > sr.maxStale {
+						sr.maxStale = s
+					}
+					continue
+				}
+				sr.bytesFreed += obj.Size()
+				sr.objectsFreed++
+				deads[w] = append(deads[w], id)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var sr sweepResult
+	for w := range results {
+		sr.bytesLive += results[w].bytesLive
+		sr.objectsLive += results[w].objectsLive
+		sr.bytesFreed += results[w].bytesFreed
+		sr.objectsFreed += results[w].objectsFreed
+		if results[w].maxStale > sr.maxStale {
+			sr.maxStale = results[w].maxStale
+		}
+	}
+	for _, dead := range deads {
+		if plan.OnFree != nil {
+			for _, id := range dead {
+				if obj, ok := c.heap.Lookup(id); ok {
+					plan.OnFree(id, obj.Class(), obj.Size())
+				}
+			}
+		}
+		c.heap.FreeBatch(dead)
+	}
+	return sr
+}

@@ -1,0 +1,284 @@
+package gc
+
+import (
+	"testing"
+
+	"leakpruning/internal/heap"
+)
+
+// rootSet is a simple RootVisitor over a slice of refs.
+type rootSet struct {
+	refs []heap.Ref
+}
+
+func (r *rootSet) VisitRoots(fn func(heap.Ref)) {
+	for _, ref := range r.refs {
+		fn(ref)
+	}
+}
+
+type testHeap struct {
+	reg   *heap.Registry
+	h     *heap.Heap
+	roots *rootSet
+}
+
+func newTestHeap(t *testing.T) *testHeap {
+	t.Helper()
+	reg := heap.NewRegistry()
+	return &testHeap{reg: reg, h: heap.New(reg, 16<<20), roots: &rootSet{}}
+}
+
+func (th *testHeap) class(t *testing.T, name string, slots, scalar int) heap.ClassID {
+	t.Helper()
+	return th.reg.Define(name, slots, scalar)
+}
+
+func (th *testHeap) alloc(t *testing.T, cls heap.ClassID) heap.Ref {
+	t.Helper()
+	r, err := th.h.Allocate(cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func (th *testHeap) link(src heap.Ref, slot int, tgt heap.Ref) {
+	th.h.Get(src).SetRef(slot, tgt)
+}
+
+func (th *testHeap) collector(workers int) *Collector {
+	return NewCollector(th.h, th.roots, workers)
+}
+
+func (th *testHeap) alive(r heap.Ref) bool {
+	_, ok := th.h.Lookup(r.ID())
+	return ok
+}
+
+func TestMarkSweepRetainsReachable(t *testing.T) {
+	th := newTestHeap(t)
+	node := th.class(t, "Node", 1, 0)
+	a := th.alloc(t, node)
+	b := th.alloc(t, node)
+	c := th.alloc(t, node)
+	dead := th.alloc(t, node)
+	th.link(a, 0, b)
+	th.link(b, 0, c)
+	th.roots.refs = []heap.Ref{a}
+
+	res := th.collector(1).Collect(Plan{Mode: ModeNormal})
+	if res.ObjectsFreed != 1 || res.ObjectsLive != 3 {
+		t.Fatalf("freed %d live %d", res.ObjectsFreed, res.ObjectsLive)
+	}
+	if th.alive(dead) {
+		t.Fatal("unreachable object survived")
+	}
+	for _, r := range []heap.Ref{a, b, c} {
+		if !th.alive(r) {
+			t.Fatalf("reachable %v was freed", r)
+		}
+	}
+}
+
+func TestMarkSweepFreesUnreachableCycle(t *testing.T) {
+	th := newTestHeap(t)
+	node := th.class(t, "Node", 1, 0)
+	a := th.alloc(t, node)
+	b := th.alloc(t, node)
+	th.link(a, 0, b)
+	th.link(b, 0, a) // cycle, no roots
+	res := th.collector(1).Collect(Plan{Mode: ModeNormal})
+	if res.ObjectsFreed != 2 {
+		t.Fatalf("cycle not collected: freed %d", res.ObjectsFreed)
+	}
+}
+
+func TestTagRefsArmsBarrier(t *testing.T) {
+	th := newTestHeap(t)
+	node := th.class(t, "Node", 1, 0)
+	a := th.alloc(t, node)
+	b := th.alloc(t, node)
+	th.link(a, 0, b)
+	th.roots.refs = []heap.Ref{a}
+
+	th.collector(1).Collect(Plan{Mode: ModeNormal, TagRefs: true})
+	if !th.h.Get(a).Ref(0).IsStaleTagged() {
+		t.Fatal("traced reference must carry the stale-check tag")
+	}
+	// Without TagRefs the tag is left alone (INACTIVE state).
+	th2 := newTestHeap(t)
+	node2 := th2.class(t, "Node", 1, 0)
+	a2 := th2.alloc(t, node2)
+	b2 := th2.alloc(t, node2)
+	th2.link(a2, 0, b2)
+	th2.roots.refs = []heap.Ref{a2}
+	th2.collector(1).Collect(Plan{Mode: ModeNormal})
+	if th2.h.Get(a2).Ref(0).IsStaleTagged() {
+		t.Fatal("INACTIVE collection must not tag references")
+	}
+}
+
+func TestAgingOnlyWhenRequested(t *testing.T) {
+	th := newTestHeap(t)
+	node := th.class(t, "Node", 0, 0)
+	a := th.alloc(t, node)
+	th.roots.refs = []heap.Ref{a}
+	col := th.collector(1)
+
+	col.Collect(Plan{Mode: ModeNormal}) // no aging
+	if th.h.Get(a).Stale() != 0 {
+		t.Fatal("stale counter aged without AgeStaleness")
+	}
+	col.Collect(Plan{Mode: ModeNormal, AgeStaleness: true}) // index 2: 0->1
+	if th.h.Get(a).Stale() != 1 {
+		t.Fatalf("stale = %d after first aged GC", th.h.Get(a).Stale())
+	}
+}
+
+func TestPoisonedRefsNeverTraced(t *testing.T) {
+	th := newTestHeap(t)
+	node := th.class(t, "Node", 1, 0)
+	a := th.alloc(t, node)
+	b := th.alloc(t, node)
+	th.h.Get(a).SetRef(0, b.WithPoison())
+	th.roots.refs = []heap.Ref{a}
+	res := th.collector(1).Collect(Plan{Mode: ModeNormal})
+	if res.ObjectsFreed != 1 {
+		t.Fatal("target of a poisoned reference must be reclaimed")
+	}
+	if th.alive(b) {
+		t.Fatal("poisoned target survived")
+	}
+	// The poisoned slot itself is untouched.
+	if !th.h.Get(a).Ref(0).IsPoisoned() {
+		t.Fatal("poison bit lost during collection")
+	}
+}
+
+func TestOnFreeHook(t *testing.T) {
+	th := newTestHeap(t)
+	node := th.class(t, "Node", 0, 64)
+	dead := th.alloc(t, node)
+	var freed []heap.ObjectID
+	th.collector(1).Collect(Plan{
+		Mode:   ModeNormal,
+		OnFree: func(id heap.ObjectID, class heap.ClassID, size uint64) { freed = append(freed, id) },
+	})
+	if len(freed) != 1 || freed[0] != dead.ID() {
+		t.Fatalf("OnFree got %v", freed)
+	}
+}
+
+func TestParallelTraceEquivalence(t *testing.T) {
+	build := func(th *testHeap) {
+		node := th.class(t, "Node", 2, 32)
+		// A binary tree of depth 10 plus some garbage.
+		var grow func(depth int) heap.Ref
+		grow = func(depth int) heap.Ref {
+			r := th.alloc(t, node)
+			if depth > 0 {
+				th.link(r, 0, grow(depth-1))
+				th.link(r, 1, grow(depth-1))
+			}
+			return r
+		}
+		root := grow(10)
+		for i := 0; i < 500; i++ {
+			th.alloc(t, node) // garbage
+		}
+		th.roots.refs = []heap.Ref{root}
+	}
+
+	th1 := newTestHeap(t)
+	build(th1)
+	res1 := th1.collector(1).Collect(Plan{Mode: ModeNormal})
+
+	th8 := newTestHeap(t)
+	build(th8)
+	res8 := th8.collector(8).Collect(Plan{Mode: ModeNormal})
+
+	if res1.ObjectsLive != res8.ObjectsLive || res1.BytesLive != res8.BytesLive {
+		t.Fatalf("parallel trace diverges: serial %d/%d, parallel %d/%d",
+			res1.ObjectsLive, res1.BytesLive, res8.ObjectsLive, res8.BytesLive)
+	}
+	if res1.ObjectsFreed != res8.ObjectsFreed {
+		t.Fatalf("freed counts diverge: %d vs %d", res1.ObjectsFreed, res8.ObjectsFreed)
+	}
+}
+
+func TestSelectModeCandidatesAndStaleClosure(t *testing.T) {
+	th := newTestHeap(t)
+	holder := th.class(t, "Holder", 1, 0)
+	leaf := th.class(t, "Leaf", 0, 100)
+
+	h1 := th.alloc(t, holder)
+	l1 := th.alloc(t, leaf)
+	th.link(h1, 0, l1)
+	th.h.Get(l1).SetStale(3) // stale target: candidate
+	th.roots.refs = []heap.Ref{h1}
+
+	var got []struct {
+		src, tgt heap.ClassID
+		bytes    uint64
+	}
+	res := th.collector(1).Collect(Plan{
+		Mode:      ModeSelect,
+		Candidate: func(src, tgt heap.ClassID, stale uint8) bool { return stale >= 2 },
+		AccountStaleBytes: func(src, tgt heap.ClassID, bytes uint64) {
+			got = append(got, struct {
+				src, tgt heap.ClassID
+				bytes    uint64
+			}{src, tgt, bytes})
+		},
+	})
+	if res.Candidates != 1 {
+		t.Fatalf("candidates = %d", res.Candidates)
+	}
+	if len(got) != 1 || got[0].src != holder || got[0].tgt != leaf {
+		t.Fatalf("stale closure accounting: %+v", got)
+	}
+	if got[0].bytes != th.h.Get(l1).Size() {
+		t.Fatalf("bytes = %d, want %d", got[0].bytes, th.h.Get(l1).Size())
+	}
+	// The deferred candidate is still retained (SELECT never reclaims).
+	if !th.alive(l1) {
+		t.Fatal("SELECT collection reclaimed a candidate target")
+	}
+}
+
+func TestPruneModePoisonsAndReclaims(t *testing.T) {
+	th := newTestHeap(t)
+	holder := th.class(t, "Holder", 1, 0)
+	leaf := th.class(t, "Leaf", 1, 100)
+
+	h1 := th.alloc(t, holder)
+	l1 := th.alloc(t, leaf)
+	l2 := th.alloc(t, leaf) // reachable only through l1
+	th.link(h1, 0, l1)
+	th.link(l1, 0, l2)
+	th.h.Get(l1).SetStale(3)
+	th.roots.refs = []heap.Ref{h1}
+
+	pruned := 0
+	res := th.collector(1).Collect(Plan{
+		Mode: ModePrune,
+		ShouldPrune: func(src, tgt heap.ClassID, stale uint8) bool {
+			return src == holder && tgt == leaf && stale >= 2
+		},
+		OnPrune: func(srcID heap.ObjectID, slot int, src, tgt heap.ClassID) { pruned++ },
+	})
+	if res.PrunedRefs != 1 || pruned != 1 {
+		t.Fatalf("pruned %d refs (hook %d)", res.PrunedRefs, pruned)
+	}
+	if th.alive(l1) || th.alive(l2) {
+		t.Fatal("pruned subtree must be reclaimed")
+	}
+	slot := th.h.Get(h1).Ref(0)
+	if !slot.IsPoisoned() || !slot.IsStaleTagged() {
+		t.Fatalf("pruned slot = %v, want both low bits set (§4.3)", slot)
+	}
+	if slot.ID() != l1.ID() {
+		t.Fatal("poisoning must preserve the reference's object ID")
+	}
+}

@@ -1,0 +1,111 @@
+package gc
+
+import (
+	"time"
+
+	"leakpruning/internal/heap"
+)
+
+// Minor (nursery) collection: the generational mode the paper's collector
+// runs between full-heap collections (§5 uses a generational mark-sweep).
+// A minor collection considers only objects allocated since the previous
+// collection: the young reachable set is the closure of young objects from
+// (a) the roots and (b) the remembered set of old objects that had a young
+// reference stored into them since the last collection. Old objects are
+// assumed live; unreachable young objects are freed and survivors are
+// promoted.
+//
+// Minor collections do not touch the staleness machinery at all: the stale
+// clock is the *full-heap* collection count (§4.1), and leak pruning acts
+// only at full-heap collections.
+
+// MinorResult summarizes one nursery collection.
+type MinorResult struct {
+	// Index is the 1-based count of minor collections.
+	Index uint64
+
+	YoungScanned  uint64 // nursery objects considered
+	Promoted      uint64 // survivors moved to the old generation
+	BytesFreed    uint64
+	ObjectsFreed  uint64
+	RemsetEntries int
+
+	Duration time.Duration
+}
+
+// CollectMinor runs one stop-the-world nursery collection. remset holds the
+// old objects into which young references were stored since the last
+// collection (each at most once; see Object.TryLog). The caller must have
+// stopped all mutator threads and must clear its remembered set afterwards.
+func (c *Collector) CollectMinor(remset []heap.ObjectID, onFree func(heap.ObjectID, heap.ClassID, uint64)) MinorResult {
+	start := time.Now()
+	c.epoch++
+	c.minorIndex++
+	res := MinorResult{Index: c.minorIndex, RemsetEntries: len(remset)}
+
+	var stack []heap.ObjectID
+	markYoung := func(r heap.Ref) {
+		if r.IsNull() || r.IsPoisoned() {
+			return
+		}
+		obj, ok := c.heap.Lookup(r.ID())
+		if !ok || !obj.IsYoung() {
+			return // old objects are assumed live in a minor collection
+		}
+		if obj.TryMark(c.epoch) {
+			stack = append(stack, r.ID())
+		}
+	}
+
+	// Roots: thread stacks, locals, globals.
+	c.roots.VisitRoots(func(r heap.Ref) { markYoung(r.Untagged()) })
+	// Remembered set: scan the logged old objects' slots for young targets.
+	for _, id := range remset {
+		obj, ok := c.heap.Lookup(id)
+		if !ok {
+			continue
+		}
+		for slot, n := 0, obj.NumRefs(); slot < n; slot++ {
+			markYoung(obj.Ref(slot))
+		}
+	}
+	// Transitive closure over young objects only.
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		obj, ok := c.heap.Lookup(id)
+		if !ok {
+			continue
+		}
+		for slot, n := 0, obj.NumRefs(); slot < n; slot++ {
+			markYoung(obj.Ref(slot))
+		}
+	}
+
+	// Nursery sweep: promote survivors, free the rest.
+	for _, id := range c.heap.YoungIDs() {
+		obj, ok := c.heap.Lookup(id)
+		if !ok || !obj.IsYoung() {
+			continue
+		}
+		res.YoungScanned++
+		if obj.Marked(c.epoch) {
+			obj.Promote()
+			res.Promoted++
+			continue
+		}
+		if onFree != nil {
+			onFree(id, obj.Class(), obj.Size())
+		}
+		res.BytesFreed += obj.Size()
+		res.ObjectsFreed++
+		c.heap.Free(id)
+	}
+	c.heap.ResetYoung()
+
+	res.Duration = time.Since(start)
+	return res
+}
+
+// MinorIndex returns the number of minor collections performed.
+func (c *Collector) MinorIndex() uint64 { return c.minorIndex }

@@ -1,0 +1,137 @@
+package gc
+
+import (
+	"testing"
+
+	"leakpruning/internal/heap"
+)
+
+func newGenHeap(t *testing.T) *testHeap {
+	t.Helper()
+	th := newTestHeap(t)
+	th.h.EnableGenerations()
+	return th
+}
+
+func TestMinorFreesUnreachableYoung(t *testing.T) {
+	th := newGenHeap(t)
+	node := th.class(t, "Node", 1, 0)
+	live := th.alloc(t, node)
+	dead := th.alloc(t, node)
+	th.roots.refs = []heap.Ref{live}
+
+	col := th.collector(1)
+	res := col.CollectMinor(nil, nil)
+	if res.YoungScanned != 2 || res.Promoted != 1 || res.ObjectsFreed != 1 {
+		t.Fatalf("minor result %+v", res)
+	}
+	if th.alive(dead) {
+		t.Fatal("unreachable young object survived the minor collection")
+	}
+	if !th.alive(live) || th.h.Get(live).IsYoung() {
+		t.Fatal("survivor must be alive and promoted")
+	}
+	if col.MinorIndex() != 1 {
+		t.Fatalf("MinorIndex = %d", col.MinorIndex())
+	}
+	// The staleness clock must NOT advance on minor collections.
+	if col.Index() != 0 {
+		t.Fatal("minor collection advanced the full-heap index")
+	}
+}
+
+func TestMinorAssumesOldLive(t *testing.T) {
+	th := newGenHeap(t)
+	node := th.class(t, "Node", 1, 0)
+	old := th.alloc(t, node)
+	th.h.Get(old).Promote()
+	th.h.ResetYoung()
+	// No roots at all: the old object still survives a minor collection.
+	col := th.collector(1)
+	col.CollectMinor(nil, nil)
+	if !th.alive(old) {
+		t.Fatal("minor collection freed an old object")
+	}
+	// A full collection does reclaim it.
+	col.Collect(Plan{Mode: ModeNormal})
+	if th.alive(old) {
+		t.Fatal("full collection missed the unreachable old object")
+	}
+}
+
+func TestMinorRemsetKeepsOldToYoungAlive(t *testing.T) {
+	th := newGenHeap(t)
+	node := th.class(t, "Node", 1, 0)
+	old := th.alloc(t, node)
+	th.h.Get(old).Promote()
+	th.h.ResetYoung()
+
+	young := th.alloc(t, node)
+	th.link(old, 0, young)
+	// Without the remembered set, the young object would look unreachable
+	// (no roots reference it, and old objects are not scanned).
+	col := th.collector(1)
+	res := col.CollectMinor([]heap.ObjectID{old.ID()}, nil)
+	if res.ObjectsFreed != 0 || res.Promoted != 1 {
+		t.Fatalf("minor result %+v", res)
+	}
+	if !th.alive(young) {
+		t.Fatal("remset-reachable young object was freed")
+	}
+}
+
+func TestMinorWithoutRemsetDropsOldToYoung(t *testing.T) {
+	// The converse of the test above: this documents why the write barrier
+	// is required — the collector itself offers no safety net.
+	th := newGenHeap(t)
+	node := th.class(t, "Node", 1, 0)
+	old := th.alloc(t, node)
+	th.h.Get(old).Promote()
+	th.h.ResetYoung()
+	young := th.alloc(t, node)
+	th.link(old, 0, young)
+	th.collector(1).CollectMinor(nil, nil)
+	if th.alive(young) {
+		t.Fatal("expected the unremembered young object to be (wrongly) freed")
+	}
+}
+
+func TestMinorTracesYoungClosure(t *testing.T) {
+	th := newGenHeap(t)
+	node := th.class(t, "Node", 1, 0)
+	a := th.alloc(t, node)
+	b := th.alloc(t, node)
+	c := th.alloc(t, node)
+	th.link(a, 0, b)
+	th.link(b, 0, c)
+	th.roots.refs = []heap.Ref{a}
+	res := th.collector(1).CollectMinor(nil, nil)
+	if res.Promoted != 3 || res.ObjectsFreed != 0 {
+		t.Fatalf("minor result %+v", res)
+	}
+}
+
+func TestMinorRunsFinalizers(t *testing.T) {
+	th := newGenHeap(t)
+	node := th.class(t, "Node", 0, 32)
+	th.alloc(t, node) // unreachable
+	var freed int
+	th.collector(1).CollectMinor(nil, func(heap.ObjectID, heap.ClassID, uint64) { freed++ })
+	if freed != 1 {
+		t.Fatalf("finalizer hook ran %d times", freed)
+	}
+}
+
+func TestFullCollectionPromotesSurvivors(t *testing.T) {
+	th := newGenHeap(t)
+	node := th.class(t, "Node", 1, 0)
+	a := th.alloc(t, node)
+	th.roots.refs = []heap.Ref{a}
+	th.collector(1).Collect(Plan{Mode: ModeNormal})
+	if th.h.Get(a).IsYoung() {
+		t.Fatal("full collection must promote survivors")
+	}
+	if len(th.h.YoungIDs()) != 0 {
+		t.Fatal("nursery list not reset by the full collection")
+	}
+}

@@ -1,0 +1,276 @@
+package gc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"leakpruning/internal/heap"
+)
+
+// candidate records one reference deferred by the in-use closure: the edge
+// type and the (untagged) target reference that roots a stale data
+// structure (§4.2).
+type candidate struct {
+	src, tgt heap.ClassID
+	ref      heap.Ref
+}
+
+const (
+	// batchSize is the number of object IDs moved between a worker's local
+	// stack and the shared pool at a time.
+	batchSize = 128
+	// spillAt is the local stack depth beyond which a worker donates a
+	// batch to the shared pool so idle workers can help.
+	spillAt = 4 * batchSize
+)
+
+// tracer runs one transitive closure with work sharing, mirroring MMTk's
+// shared-pool/local-queue design (§4.5).
+type tracer struct {
+	heap    *heap.Heap
+	epoch   uint32
+	plan    Plan
+	workers int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	shared  [][]heap.ObjectID
+	waiting int
+	done    bool
+
+	candMu     sync.Mutex
+	candidates []candidate
+
+	prunedRefs atomic.Int64
+}
+
+func newTracer(h *heap.Heap, epoch uint32, plan Plan, workers int) *tracer {
+	t := &tracer{heap: h, epoch: epoch, plan: plan, workers: workers}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// markRoot claims a root-referenced object and seeds the shared pool. Roots
+// are never pruning candidates: candidates are heap edges keyed by their
+// source class, and roots have none (§3.1's example shows candidates only
+// on object-to-object references).
+func (t *tracer) markRoot(r heap.Ref) {
+	obj := t.heap.Get(r)
+	if !obj.TryMark(t.epoch) {
+		return
+	}
+	t.mu.Lock()
+	t.shared = append(t.shared, []heap.ObjectID{r.ID()})
+	t.mu.Unlock()
+}
+
+// run processes the shared pool to exhaustion with t.workers goroutines.
+func (t *tracer) run() {
+	if t.workers == 1 {
+		t.worker()
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < t.workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t.worker()
+		}()
+	}
+	wg.Wait()
+}
+
+// take blocks until a batch is available or the closure has terminated
+// (every worker idle with an empty pool).
+func (t *tracer) take() ([]heap.ObjectID, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		if n := len(t.shared); n > 0 {
+			b := t.shared[n-1]
+			t.shared = t.shared[:n-1]
+			return b, true
+		}
+		if t.done {
+			return nil, false
+		}
+		t.waiting++
+		if t.waiting == t.workers {
+			t.done = true
+			t.cond.Broadcast()
+			t.waiting--
+			return nil, false
+		}
+		t.cond.Wait()
+		t.waiting--
+	}
+}
+
+// donate moves a batch from a worker's local stack to the shared pool.
+func (t *tracer) donate(batch []heap.ObjectID) {
+	t.mu.Lock()
+	t.shared = append(t.shared, batch)
+	t.cond.Signal()
+	t.mu.Unlock()
+}
+
+func (t *tracer) worker() {
+	var local []heap.ObjectID
+	for {
+		if len(local) == 0 {
+			batch, ok := t.take()
+			if !ok {
+				return
+			}
+			local = append(local, batch...)
+			continue
+		}
+		id := local[len(local)-1]
+		local = local[:len(local)-1]
+		local = t.scan(id, local)
+		if len(local) >= spillAt {
+			batch := make([]heap.ObjectID, batchSize)
+			copy(batch, local[:batchSize])
+			local = append(local[:0], local[batchSize:]...)
+			t.donate(batch)
+		}
+	}
+}
+
+// scan processes one marked object's reference slots: tagging, candidate
+// deferral, pruning, and marking of children. It returns the worker's local
+// stack with newly claimed children pushed.
+func (t *tracer) scan(id heap.ObjectID, local []heap.ObjectID) []heap.ObjectID {
+	obj, ok := t.heap.Lookup(id)
+	if !ok {
+		return local
+	}
+	src := obj.Class()
+	for slot, n := 0, obj.NumRefs(); slot < n; slot++ {
+		r := obj.Ref(slot)
+		if r.IsNull() {
+			continue
+		}
+		// Poisoned references are never traced again (§4.3): future
+		// collections see the poison bit and do not dereference.
+		if r.IsPoisoned() {
+			continue
+		}
+		tgt := t.heap.Get(r)
+		tgtClass := tgt.Class()
+		stale := tgt.Stale()
+
+		if t.plan.StaleEdge != nil && stale >= 2 {
+			t.plan.StaleEdge(src, tgtClass, stale, tgt.Size())
+		}
+
+		switch t.plan.Mode {
+		case ModeSelect:
+			if t.plan.Candidate != nil && t.plan.Candidate(src, tgtClass, stale) {
+				// Defer to the stale closure; tag the slot so the barrier
+				// still fires if the program uses the reference later.
+				if t.plan.TagRefs && !r.IsStaleTagged() {
+					obj.SetRef(slot, r.Untagged().WithStale())
+				}
+				t.candMu.Lock()
+				t.candidates = append(t.candidates, candidate{src: src, tgt: tgtClass, ref: r.Untagged()})
+				t.candMu.Unlock()
+				continue
+			}
+		case ModePrune:
+			if t.plan.ShouldPrune != nil && t.plan.ShouldPrune(src, tgtClass, stale) {
+				// Poison: set the second-lowest bit as well as the lowest
+				// bit and do not trace the target (§4.3).
+				obj.SetRef(slot, r.Untagged().WithPoison())
+				t.prunedRefs.Add(1)
+				if t.plan.OnPrune != nil {
+					t.plan.OnPrune(id, slot, src, tgtClass)
+				}
+				continue
+			}
+		}
+
+		// Set the barrier tag, skipping the store when the bit is already
+		// set (references stay tagged until the program uses them, so this
+		// avoids re-dirtying most of the heap every collection).
+		if t.plan.TagRefs && !r.IsStaleTagged() {
+			obj.SetRef(slot, r.Untagged().WithStale())
+		}
+		if tgt.TryMark(t.epoch) {
+			local = append(local, r.ID())
+		}
+	}
+	return local
+}
+
+// staleClosure runs the SELECT state's second phase: from each candidate
+// reference, mark the objects reachable only through it and attribute their
+// bytes to the candidate's edge type (§4.2). Each candidate's closure is
+// processed by a single worker; distinct candidates run in parallel (§4.5).
+// Objects shared between candidates are attributed to whichever closure
+// claims them first, matching the prototype's claim-based accounting.
+func (t *tracer) staleClosure() uint64 {
+	var total atomic.Uint64
+	var next atomic.Int64
+	workers := t.workers
+	if workers > len(t.candidates) {
+		workers = len(t.candidates)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(t.candidates) {
+					return
+				}
+				c := t.candidates[i]
+				bytes := t.traceStaleRoot(c.ref)
+				if t.plan.AccountStaleBytes != nil {
+					t.plan.AccountStaleBytes(c.src, c.tgt, bytes)
+				}
+				total.Add(bytes)
+			}
+		}()
+	}
+	wg.Wait()
+	return total.Load()
+}
+
+// traceStaleRoot marks and sizes the subgraph reachable from one candidate
+// reference, skipping anything the in-use closure (or an earlier candidate)
+// already claimed.
+func (t *tracer) traceStaleRoot(root heap.Ref) uint64 {
+	obj := t.heap.Get(root)
+	if !obj.TryMark(t.epoch) {
+		return 0
+	}
+	var bytes uint64
+	stack := []heap.ObjectID{root.ID()}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		o, ok := t.heap.Lookup(id)
+		if !ok {
+			continue
+		}
+		bytes += o.Size()
+		for slot, n := 0, o.NumRefs(); slot < n; slot++ {
+			r := o.Ref(slot)
+			if r.IsNull() || r.IsPoisoned() {
+				continue
+			}
+			child := t.heap.Get(r)
+			if t.plan.TagRefs && !r.IsStaleTagged() {
+				o.SetRef(slot, r.Untagged().WithStale())
+			}
+			if child.TryMark(t.epoch) {
+				stack = append(stack, r.ID())
+			}
+		}
+	}
+	return bytes
+}

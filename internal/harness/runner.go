@@ -1,0 +1,291 @@
+// Package harness drives workload programs on the simulated runtime and
+// records everything the paper's evaluation reports: iterations executed
+// before failure (Tables 1–2), reachable memory after every full-heap
+// collection (Figures 1 and 9), per-iteration times (Figures 8, 10, 11),
+// pruned edge types, and GC/barrier overhead counters.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"leakpruning/internal/core"
+	"leakpruning/internal/heap"
+	"leakpruning/internal/offload"
+	"leakpruning/internal/vm"
+	"leakpruning/internal/vmerrors"
+	"leakpruning/internal/workload"
+)
+
+// EndReason says why a run stopped.
+type EndReason string
+
+const (
+	// EndOOM: the program exhausted memory (an OutOfMemoryError was thrown).
+	EndOOM EndReason = "out-of-memory"
+	// EndPoisonTrap: the program accessed a pruned reference (InternalError).
+	EndPoisonTrap EndReason = "pruned-access"
+	// EndIterCap: the run reached the iteration cap still healthy (the
+	// analogue of the paper's ">24 hours" rows).
+	EndIterCap EndReason = "iteration-cap"
+	// EndTimeCap: the run reached the wall-clock budget still healthy.
+	EndTimeCap EndReason = "time-cap"
+	// EndCompleted: the program finished naturally (Delaunay).
+	EndCompleted EndReason = "completed"
+)
+
+// GCSample is one point of the reachable-memory series: taken at the end of
+// a full-heap collection, as in Figure 1.
+type GCSample struct {
+	GCIndex   uint64
+	Iteration int
+	BytesLive uint64
+	State     core.State
+	Mode      string
+	GCTime    time.Duration
+}
+
+// Config parameterizes one run.
+type Config struct {
+	// Program names the workload (see workload.Names).
+	Program string
+	// Policy is the pruning policy name: "off", "default", "most-stale",
+	// "indiv-refs", "decay", or "melt" (the disk-offloading baseline).
+	Policy string
+	// DiskLimit sizes the simulated disk for the "melt" policy
+	// (0 = offload.DefaultDiskFactor x the heap limit).
+	DiskLimit uint64
+	// HeapLimit overrides the program's default heap (0 = default).
+	HeapLimit uint64
+	// MaxIters caps the run (0 = DefaultMaxIters).
+	MaxIters int
+	// MaxDuration caps the run's wall-clock time (0 = no cap).
+	MaxDuration time.Duration
+	// FullHeapOnly selects the paper's option (1) prune trigger.
+	FullHeapOnly bool
+	// BarriersOff disables read barriers entirely — the Figure 6 baseline.
+	// Only valid with Policy "off".
+	BarriersOff bool
+	// ForceState pins the controller state for overhead measurement:
+	// "" (off), "observe", or "select" (Figures 6–7).
+	ForceState string
+	// BarrierVariant selects the barrier code shape: "" or "conditional"
+	// (default), or "unconditional".
+	BarrierVariant string
+	// GCWorkers sets tracer parallelism (0 = default).
+	GCWorkers int
+	// Generational enables nursery (minor) collections.
+	Generational bool
+	// RecordIterTimes keeps the per-iteration duration series.
+	RecordIterTimes bool
+	// Verbose streams prune/OOM events to fn as they happen.
+	Verbose func(format string, args ...any)
+}
+
+// DefaultMaxIters bounds runs that would otherwise go on forever (the
+// paper's 24-hour terminations).
+const DefaultMaxIters = 20000
+
+// Result is everything one run measured.
+type Result struct {
+	Program    string
+	Policy     string
+	HeapLimit  uint64
+	Iterations int
+	Reason     EndReason
+	Err        error
+
+	Duration   time.Duration
+	VMStats    vm.Stats
+	Disk       heap.DiskStats
+	Offload    offload.Stats
+	GCSamples  []GCSample
+	IterTimes  []time.Duration
+	Prunes     []core.PruneEvent
+	EdgeTypes  int
+	FinalState core.State
+}
+
+// Ratio returns this run's iterations relative to base's (Table 1/2's
+// "runs N× longer").
+func (r Result) Ratio(base Result) float64 {
+	if base.Iterations == 0 {
+		return 0
+	}
+	return float64(r.Iterations) / float64(base.Iterations)
+}
+
+// Capped reports whether the run ended healthy at a cap rather than dying.
+func (r Result) Capped() bool {
+	return r.Reason == EndIterCap || r.Reason == EndTimeCap || r.Reason == EndCompleted
+}
+
+// PolicyFromName maps harness policy names to core policies; "off" (or "",
+// or "base") means pruning disabled.
+func PolicyFromName(name string) (core.Policy, error) {
+	switch name {
+	case "", "off", "base", "none":
+		return nil, nil
+	}
+	return core.PolicyByName(name)
+}
+
+// Run executes one configured run to completion.
+func Run(cfg Config) (Result, error) {
+	prog, err := workload.New(cfg.Program)
+	if err != nil {
+		return Result{}, err
+	}
+	melt := cfg.Policy == "melt"
+	var policy core.Policy
+	if !melt {
+		policy, err = PolicyFromName(cfg.Policy)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	heapLimit := cfg.HeapLimit
+	if heapLimit == 0 {
+		heapLimit = prog.DefaultHeap()
+	}
+	maxIters := cfg.MaxIters
+	if maxIters == 0 {
+		maxIters = DefaultMaxIters
+	}
+
+	res := Result{
+		Program:   prog.Name(),
+		Policy:    policyLabel(cfg.Policy),
+		HeapLimit: heapLimit,
+	}
+
+	var iterNow atomic.Int64
+	opts := vm.Options{
+		HeapLimit:      heapLimit,
+		Policy:         policy,
+		EnableBarriers: !cfg.BarriersOff,
+		FullHeapOnly:   cfg.FullHeapOnly,
+		GCWorkers:      cfg.GCWorkers,
+	}
+	opts.Generational = cfg.Generational
+	if melt {
+		opts.OffloadDisk = cfg.DiskLimit
+		if opts.OffloadDisk == 0 {
+			opts.OffloadDisk = offload.DefaultDiskFactor * heapLimit
+		}
+	}
+	switch cfg.ForceState {
+	case "":
+	case "observe":
+		opts.Forced, opts.ForceState = true, core.StateObserve
+	case "select":
+		opts.Forced, opts.ForceState = true, core.StateSelect
+	default:
+		return Result{}, fmt.Errorf("harness: unknown forced state %q", cfg.ForceState)
+	}
+	switch cfg.BarrierVariant {
+	case "", "conditional":
+	case "unconditional":
+		opts.Barrier = vm.BarrierUnconditional
+	default:
+		return Result{}, fmt.Errorf("harness: unknown barrier variant %q", cfg.BarrierVariant)
+	}
+	opts.OnGC = func(ev vm.Event) {
+		res.GCSamples = append(res.GCSamples, GCSample{
+			GCIndex:   ev.Result.Index,
+			Iteration: int(iterNow.Load()),
+			BytesLive: ev.Heap.BytesUsed,
+			State:     ev.State,
+			Mode:      ev.Result.Mode.String(),
+			GCTime:    ev.Result.Duration,
+		})
+	}
+	if cfg.Verbose != nil {
+		opts.OnPrune = func(ev core.PruneEvent) {
+			cfg.Verbose("  [gc %d, iter %d] pruned %d refs: %s (freed %d bytes)",
+				ev.GCIndex, iterNow.Load(), ev.PrunedRefs, ev.Selection, ev.BytesFreed)
+		}
+		opts.OnOOM = func(oom *vmerrors.OutOfMemoryError) {
+			cfg.Verbose("  [iter %d] out-of-memory warning recorded: %v", iterNow.Load(), oom)
+		}
+	}
+	machine := vm.New(opts)
+
+	start := time.Now()
+	deadline := time.Time{}
+	if cfg.MaxDuration > 0 {
+		deadline = start.Add(cfg.MaxDuration)
+	}
+
+	runErr := machine.RunThread("main", func(t *vm.Thread) {
+		t.Scope(func() { prog.Setup(t) })
+		for iter := 0; iter < maxIters; iter++ {
+			iterNow.Store(int64(iter))
+			t0 := time.Now()
+			done := false
+			// Each iteration runs in its own scope so the local references
+			// it accumulates stop being roots at the iteration boundary.
+			t.Scope(func() { done = prog.Iterate(t, iter) })
+			if cfg.RecordIterTimes {
+				res.IterTimes = append(res.IterTimes, time.Since(t0))
+			}
+			res.Iterations = iter + 1
+			if done {
+				res.Reason = EndCompleted
+				return
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				res.Reason = EndTimeCap
+				return
+			}
+		}
+		res.Reason = EndIterCap
+	})
+
+	res.Duration = time.Since(start)
+	res.Err = runErr
+	if runErr != nil {
+		var ie *vmerrors.InternalError
+		switch {
+		case errors.As(runErr, &ie):
+			res.Reason = EndPoisonTrap
+		case vmerrors.IsOOM(runErr):
+			res.Reason = EndOOM
+		default:
+			return res, fmt.Errorf("harness: unexpected error from %s: %w", prog.Name(), runErr)
+		}
+	}
+	res.VMStats = machine.Stats()
+	res.Disk = machine.Disk()
+	res.Offload = machine.OffloadStats()
+	res.Prunes = machine.PruneEvents()
+	res.EdgeTypes = machine.EdgeTable().Len()
+	res.FinalState = machine.State()
+	return res, nil
+}
+
+func policyLabel(name string) string {
+	switch name {
+	case "", "off", "base", "none":
+		return "base"
+	}
+	return name
+}
+
+// DiskExhausted reports whether a melt run's disk budget was the binding
+// constraint when it ended.
+func (r Result) DiskExhausted() bool {
+	return r.Offload.DiskFullHits > 0
+}
+
+// Describe renders a one-line summary of the run.
+func (r Result) Describe() string {
+	extra := ""
+	if r.Err != nil {
+		extra = fmt.Sprintf(" (%v)", r.Err)
+	}
+	return fmt.Sprintf("%s/%s: %d iterations, %s%s, %d prunes over %d edge types, %v",
+		r.Program, r.Policy, r.Iterations, r.Reason, extra, len(r.Prunes), r.EdgeTypes, r.Duration.Round(time.Millisecond))
+}

@@ -1,0 +1,32 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSmokeListLeak checks the core paper result end to end: under the base
+// configuration ListLeak dies of memory exhaustion quickly, while the
+// default leak-pruning policy keeps it running to the iteration cap.
+func TestSmokeListLeak(t *testing.T) {
+	base, err := Run(Config{Program: "listleak", Policy: "off", MaxIters: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("base: %s", base.Describe())
+	if base.Reason != EndOOM {
+		t.Fatalf("base run should exhaust memory, got %s", base.Reason)
+	}
+
+	pruned, err := Run(Config{Program: "listleak", Policy: "default", MaxIters: 5000, MaxDuration: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("default: %s", pruned.Describe())
+	if !pruned.Capped() {
+		t.Fatalf("default run should reach the cap, got %s (%v)", pruned.Reason, pruned.Err)
+	}
+	if ratio := pruned.Ratio(base); ratio < 5 {
+		t.Fatalf("default should run much longer than base, ratio %.1f", ratio)
+	}
+}

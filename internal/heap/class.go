@@ -1,0 +1,111 @@
+package heap
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Class describes one object type. The simulated heap does not interpret
+// scalar payloads; ScalarBytes only contributes to the byte accounting that
+// drives heap exhaustion, GC triggering, and leak pruning's bytesUsed
+// selection metric.
+type Class struct {
+	ID   ClassID
+	Name string
+	// RefSlots is the default number of reference fields for instances of
+	// this class. Individual allocations may override it (arrays).
+	RefSlots int
+	// ScalarBytes is the default non-reference payload size in bytes.
+	// Individual allocations may override it.
+	ScalarBytes int
+}
+
+// Registry assigns ClassIDs and resolves them back to metadata. A Registry
+// is safe for concurrent use: workloads define classes up front, but the
+// collector and edge table resolve names concurrently while reporting.
+type Registry struct {
+	mu      sync.RWMutex
+	byName  map[string]ClassID
+	classes []Class // index == ClassID; slot 0 is a placeholder
+}
+
+// NewRegistry returns an empty class registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byName:  make(map[string]ClassID),
+		classes: make([]Class, 1), // reserve ClassID 0
+	}
+}
+
+// Define registers a class and returns its ID. Defining the same name twice
+// returns the existing ID if the shape matches and panics otherwise:
+// class definitions are program structure, so a mismatch is a programming
+// error, not a runtime condition.
+func (r *Registry) Define(name string, refSlots, scalarBytes int) ClassID {
+	if name == "" {
+		panic("heap: class name must be non-empty")
+	}
+	if refSlots < 0 || scalarBytes < 0 {
+		panic(fmt.Sprintf("heap: negative shape for class %s", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.byName[name]; ok {
+		c := r.classes[id]
+		if c.RefSlots != refSlots || c.ScalarBytes != scalarBytes {
+			panic(fmt.Sprintf("heap: class %s redefined with different shape", name))
+		}
+		return id
+	}
+	id := ClassID(len(r.classes))
+	r.classes = append(r.classes, Class{ID: id, Name: name, RefSlots: refSlots, ScalarBytes: scalarBytes})
+	r.byName[name] = id
+	return id
+}
+
+// Lookup returns the ID for name, if defined.
+func (r *Registry) Lookup(name string) (ClassID, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	id, ok := r.byName[name]
+	return id, ok
+}
+
+// Get returns the class metadata for id. It panics on an unknown ID, which
+// indicates heap corruption.
+func (r *Registry) Get(id ClassID) Class {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if int(id) >= len(r.classes) || id == 0 {
+		panic(fmt.Sprintf("heap: unknown class id %d", id))
+	}
+	return r.classes[id]
+}
+
+// Name returns the class name for id, or "<class0>" for the reserved ID.
+func (r *Registry) Name(id ClassID) string {
+	if id == 0 {
+		return "<class0>"
+	}
+	return r.Get(id).Name
+}
+
+// Len returns the number of defined classes.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.classes) - 1
+}
+
+// Names returns all defined class names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,303 @@
+package heap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	chunkShift = 14 // 16384 objects per chunk
+	chunkSize  = 1 << chunkShift
+	chunkMask  = chunkSize - 1
+	maxChunks  = 1 << 16 // up to ~1 G objects
+)
+
+// ErrHeapFull is returned by Allocate when the requested object does not fit
+// under the heap limit. The caller (the VM's allocation slow path) reacts by
+// collecting, pruning, or raising the out-of-memory error.
+var ErrHeapFull = errors.New("heap: allocation would exceed heap limit")
+
+// Stats is a snapshot of the heap's byte and object accounting.
+type Stats struct {
+	Limit        uint64 // maximum heap size in simulated bytes
+	BytesUsed    uint64 // bytes currently held by live (unswept) objects
+	ObjectsUsed  uint64 // number of allocated, unswept objects
+	BytesAlloc   uint64 // cumulative bytes ever allocated
+	ObjectsAlloc uint64 // cumulative objects ever allocated
+	BytesFreed   uint64 // cumulative bytes freed by the sweeper
+	ObjectsFreed uint64 // cumulative objects freed by the sweeper
+}
+
+// Fullness returns BytesUsed/Limit, the quantity that drives the leak
+// pruning state machine (§3.1).
+func (s Stats) Fullness() float64 {
+	if s.Limit == 0 {
+		return 0
+	}
+	return float64(s.BytesUsed) / float64(s.Limit)
+}
+
+// Heap is the simulated managed heap: a chunked object table plus byte
+// accounting against a fixed limit. Object pointers returned by Get remain
+// valid until the object is freed, because chunks are never moved.
+//
+// Allocation and freeing are serialized by an internal mutex; slot reads and
+// writes on individual objects are atomic and lock-free (see Object).
+type Heap struct {
+	classes *Registry
+
+	mu     sync.Mutex
+	chunks [maxChunks]*[chunkSize]Object
+	// next is the lowest never-used ObjectID; freed IDs are recycled LIFO
+	// from free before next is advanced.
+	next ObjectID
+	free []ObjectID
+
+	stats Stats
+	// disk is the offload accounting (the Melt-style baseline).
+	disk DiskStats
+	// generational enables nursery tracking: new objects are flagged young
+	// and listed for minor sweeps.
+	generational bool
+	young        []ObjectID
+	// usedAtomic mirrors stats.BytesUsed for lock-free reads on the
+	// allocation fast path (the soft GC trigger check).
+	usedAtomic atomic.Uint64
+}
+
+// New creates a heap with the given byte limit and class registry.
+func New(classes *Registry, limit uint64) *Heap {
+	if classes == nil {
+		panic("heap: nil class registry")
+	}
+	if limit == 0 {
+		panic("heap: zero heap limit")
+	}
+	return &Heap{classes: classes, next: 1, stats: Stats{Limit: limit}}
+}
+
+// Classes returns the heap's class registry.
+func (h *Heap) Classes() *Registry { return h.classes }
+
+// EnableGenerations turns on nursery tracking: subsequently allocated
+// objects are young until they survive a collection.
+func (h *Heap) EnableGenerations() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.generational = true
+}
+
+// YoungIDs returns a copy of the current nursery membership. Call only
+// stop-the-world.
+func (h *Heap) YoungIDs() []ObjectID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]ObjectID(nil), h.young...)
+}
+
+// ResetYoung empties the nursery list after a collection promoted or freed
+// its members. Call only stop-the-world.
+func (h *Heap) ResetYoung() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.young = h.young[:0]
+}
+
+// Limit returns the heap's maximum size in simulated bytes.
+func (h *Heap) Limit() uint64 { return h.stats.Limit }
+
+// BytesUsed returns the current used-byte count without taking the heap
+// lock (it may lag a concurrent allocation by one update).
+func (h *Heap) BytesUsed() uint64 { return h.usedAtomic.Load() }
+
+// Stats returns a snapshot of the accounting counters.
+func (h *Heap) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// ObjectSize returns the simulated size of an object with the given shape.
+func ObjectSize(refSlots, scalarBytes int) uint64 {
+	return HeaderBytes + uint64(refSlots)*RefSlotBytes + uint64(scalarBytes)
+}
+
+// AllocOption tweaks a single allocation's shape relative to its class
+// defaults (used for arrays and variable-size payloads).
+type AllocOption func(*allocShape)
+
+type allocShape struct {
+	refSlots    int
+	scalarBytes int
+}
+
+// WithRefSlots overrides the number of reference slots for one allocation.
+func WithRefSlots(n int) AllocOption {
+	return func(s *allocShape) { s.refSlots = n }
+}
+
+// WithScalarBytes overrides the scalar payload size for one allocation.
+func WithScalarBytes(n int) AllocOption {
+	return func(s *allocShape) { s.scalarBytes = n }
+}
+
+// Allocate creates a new object of the given class, charging its size
+// against the heap limit. All reference slots start null. It returns
+// ErrHeapFull (without allocating) when the object does not fit; triggering
+// collection is the caller's job, keeping the heap policy-free.
+func (h *Heap) Allocate(class ClassID, opts ...AllocOption) (Ref, error) {
+	c := h.classes.Get(class)
+	shape := allocShape{refSlots: c.RefSlots, scalarBytes: c.ScalarBytes}
+	for _, o := range opts {
+		o(&shape)
+	}
+	if shape.refSlots < 0 || shape.scalarBytes < 0 {
+		panic(fmt.Sprintf("heap: negative allocation shape for %s", c.Name))
+	}
+	size := ObjectSize(shape.refSlots, shape.scalarBytes)
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.stats.BytesUsed+size > h.stats.Limit {
+		return Null, ErrHeapFull
+	}
+	id, obj := h.takeSlotLocked()
+	obj.class = class
+	obj.stale = 0
+	obj.flags = 0
+	if h.generational {
+		obj.flags = flagYoung
+		h.young = append(h.young, id)
+	}
+	obj.size = size
+	if cap(obj.refs) >= shape.refSlots {
+		obj.refs = obj.refs[:shape.refSlots]
+		for i := range obj.refs {
+			obj.refs[i] = 0
+		}
+	} else {
+		obj.refs = make([]uint64, shape.refSlots)
+	}
+	// The mark word is left at its previous value: epochs only ever move
+	// forward, so a recycled slot can never appear already-marked.
+	h.stats.BytesUsed += size
+	h.stats.ObjectsUsed++
+	h.stats.BytesAlloc += size
+	h.stats.ObjectsAlloc++
+	h.usedAtomic.Store(h.stats.BytesUsed)
+	return MakeRef(id), nil
+}
+
+func (h *Heap) takeSlotLocked() (ObjectID, *Object) {
+	if n := len(h.free); n > 0 {
+		id := h.free[n-1]
+		h.free = h.free[:n-1]
+		return id, h.slot(id)
+	}
+	id := h.next
+	h.next++
+	ci := int(id) >> chunkShift
+	if ci >= maxChunks {
+		panic("heap: object table exhausted")
+	}
+	if h.chunks[ci] == nil {
+		h.chunks[ci] = new([chunkSize]Object)
+	}
+	return id, &h.chunks[ci][int(id)&chunkMask]
+}
+
+func (h *Heap) slot(id ObjectID) *Object {
+	c := h.chunks[int(id)>>chunkShift]
+	if c == nil {
+		return nil
+	}
+	return &c[int(id)&chunkMask]
+}
+
+// Get resolves a reference to its object. Tag bits are ignored. It panics
+// on null or on an ID that was never allocated: by construction the
+// collector only frees unreachable objects, so a dangling dereference is a
+// bug in the runtime, not a program condition.
+func (h *Heap) Get(r Ref) *Object {
+	if r.IsNull() {
+		panic("heap: dereference of null reference")
+	}
+	id := r.ID()
+	obj := h.slot(id)
+	if obj == nil || obj.size == 0 {
+		panic(fmt.Sprintf("heap: dereference of dead or unallocated %v", r.Untagged()))
+	}
+	return obj
+}
+
+// Free releases the object behind r and credits its bytes back. Only the
+// collector's sweep calls this. Freeing an already-free slot panics.
+func (h *Heap) Free(id ObjectID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	obj := h.slot(id)
+	if obj == nil || obj.size == 0 {
+		panic(fmt.Sprintf("heap: double free of object %d", id))
+	}
+	h.freeAccountingLocked(obj)
+	obj.size = 0
+	obj.class = 0
+	obj.refs = obj.refs[:0]
+	h.free = append(h.free, id)
+}
+
+// FreeBatch releases many objects under one lock acquisition (the
+// collector's sweep). Panics on double frees, like Free.
+func (h *Heap) FreeBatch(ids []ObjectID) {
+	if len(ids) == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, id := range ids {
+		obj := h.slot(id)
+		if obj == nil || obj.size == 0 {
+			panic(fmt.Sprintf("heap: double free of object %d", id))
+		}
+		h.freeAccountingLocked(obj)
+		obj.size = 0
+		obj.class = 0
+		obj.refs = obj.refs[:0]
+		h.free = append(h.free, id)
+	}
+}
+
+// ForEach calls fn for every allocated object, passing its ID. The heap
+// must be quiescent (stop-the-world): sweep and staleness aging run under
+// this. fn must not allocate or free.
+func (h *Heap) ForEach(fn func(ObjectID, *Object)) {
+	h.mu.Lock()
+	next := h.next
+	h.mu.Unlock()
+	for id := ObjectID(1); id < next; id++ {
+		obj := h.slot(id)
+		if obj != nil && obj.size != 0 {
+			fn(id, obj)
+		}
+	}
+}
+
+// MaxID returns the exclusive upper bound of object IDs ever allocated,
+// letting the sweeper shard the table across workers.
+func (h *Heap) MaxID() ObjectID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.next
+}
+
+// Lookup returns the object for an ID if it is currently allocated. The
+// sweeper uses this to shard iteration without holding the heap lock.
+func (h *Heap) Lookup(id ObjectID) (*Object, bool) {
+	obj := h.slot(id)
+	if obj == nil || obj.size == 0 {
+		return nil, false
+	}
+	return obj, true
+}

@@ -1,0 +1,147 @@
+package heap
+
+import "sync/atomic"
+
+// HeaderBytes is the simulated per-object header cost charged by the byte
+// accounting, standing in for the two-word Jikes RVM object header that
+// holds (among other things) the three-bit stale counter.
+const HeaderBytes = 16
+
+// RefSlotBytes is the simulated size of one reference field.
+const RefSlotBytes = 8
+
+// MaxStale is the saturation value of the three-bit logarithmic stale
+// counter (§4.1): a value k means the object was last used about 2^k
+// full-heap collections ago.
+const MaxStale = 7
+
+// Object is one heap object. Mutators and the collector share Objects:
+// reference slots and the stale counter are accessed atomically; the mark
+// word is claimed by CAS during parallel tracing. Everything else is
+// immutable after allocation.
+type Object struct {
+	class ClassID
+	// stale is the 3-bit logarithmic stale counter, widened to a uint32 so
+	// it can be manipulated with sync/atomic. Only values 0..MaxStale occur.
+	stale uint32
+	// mark holds the epoch of the last collection that reached this object.
+	mark uint32
+	// flags holds miscellaneous state bits (offload residency).
+	flags uint32
+	// size is the total simulated byte size (header + ref slots + scalar).
+	size uint64
+	// refs are the object's tagged reference words.
+	refs []uint64
+}
+
+// Class returns the object's class ID.
+func (o *Object) Class() ClassID { return o.class }
+
+// Size returns the object's total simulated size in bytes.
+func (o *Object) Size() uint64 { return o.size }
+
+// NumRefs returns the number of reference slots.
+func (o *Object) NumRefs() int { return len(o.refs) }
+
+// Stale returns the current stale-counter value.
+func (o *Object) Stale() uint8 { return uint8(atomic.LoadUint32(&o.stale)) }
+
+// SetStale stores v into the stale counter, saturating at MaxStale.
+func (o *Object) SetStale(v uint8) {
+	if v > MaxStale {
+		v = MaxStale
+	}
+	atomic.StoreUint32(&o.stale, uint32(v))
+}
+
+// ClearStale resets the stale counter to zero (the barrier's cold path).
+func (o *Object) ClearStale() { atomic.StoreUint32(&o.stale, 0) }
+
+// AgeStale implements the logarithmic aging rule from §4.1: full-heap
+// collection number gcIndex increments the counter from its current value k
+// iff 2^k evenly divides gcIndex. The counter saturates at MaxStale. It
+// returns the post-aging value so the sweep needs only one counter access.
+func (o *Object) AgeStale(gcIndex uint64) uint8 {
+	k := atomic.LoadUint32(&o.stale)
+	if k < MaxStale && gcIndex%(uint64(1)<<k) == 0 {
+		k++
+		atomic.StoreUint32(&o.stale, k)
+	}
+	return uint8(k)
+}
+
+// IsYoung reports whether the object is in the nursery generation.
+func (o *Object) IsYoung() bool { return atomic.LoadUint32(&o.flags)&flagYoung != 0 }
+
+// Promote moves the object to the old generation (clearing its nursery and
+// remembered-set flags).
+func (o *Object) Promote() {
+	for {
+		cur := atomic.LoadUint32(&o.flags)
+		if cur&(flagYoung|flagLogged) == 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint32(&o.flags, cur, cur&^(flagYoung|flagLogged)) {
+			return
+		}
+	}
+}
+
+// Unlog clears the remembered-set flag after a collection consumed the set.
+func (o *Object) Unlog() {
+	for {
+		cur := atomic.LoadUint32(&o.flags)
+		if cur&flagLogged == 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint32(&o.flags, cur, cur&^flagLogged) {
+			return
+		}
+	}
+}
+
+// TryLog sets the remembered-set flag and reports whether this caller set
+// it (so each old object is recorded at most once per collection cycle).
+func (o *Object) TryLog() bool {
+	for {
+		cur := atomic.LoadUint32(&o.flags)
+		if cur&flagLogged != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(&o.flags, cur, cur|flagLogged) {
+			return true
+		}
+	}
+}
+
+// Ref atomically loads the tagged reference word in the given slot.
+func (o *Object) Ref(slot int) Ref { return Ref(atomic.LoadUint64(&o.refs[slot])) }
+
+// SetRef atomically stores a reference word into the given slot.
+func (o *Object) SetRef(slot int, r Ref) { atomic.StoreUint64(&o.refs[slot], uint64(r)) }
+
+// CompareAndSwapRef atomically replaces the slot's value iff it still holds
+// old. The read barrier uses this so it never overwrites a concurrent
+// mutator store (§4.1: "[iff a.f == t]").
+func (o *Object) CompareAndSwapRef(slot int, old, new Ref) bool {
+	return atomic.CompareAndSwapUint64(&o.refs[slot], uint64(old), uint64(new))
+}
+
+// Marked reports whether the object has been reached in the collection with
+// the given epoch.
+func (o *Object) Marked(epoch uint32) bool { return atomic.LoadUint32(&o.mark) == epoch }
+
+// TryMark attempts to claim the object for the collection with the given
+// epoch. It returns true iff this caller performed the transition, which is
+// how parallel tracer workers avoid processing an object twice (§4.5).
+func (o *Object) TryMark(epoch uint32) bool {
+	for {
+		cur := atomic.LoadUint32(&o.mark)
+		if cur == epoch {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(&o.mark, cur, epoch) {
+			return true
+		}
+	}
+}

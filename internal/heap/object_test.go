@@ -1,0 +1,152 @@
+package heap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func allocObject(t *testing.T, refs, scalar int) (*Heap, Ref) {
+	t.Helper()
+	reg := NewRegistry()
+	cls := reg.Define("T", refs, scalar)
+	h := New(reg, 1<<20)
+	r, err := h.Allocate(cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, r
+}
+
+func TestStaleCounterBasics(t *testing.T) {
+	h, r := allocObject(t, 1, 0)
+	obj := h.Get(r)
+	if obj.Stale() != 0 {
+		t.Fatal("fresh object must have stale 0")
+	}
+	obj.SetStale(3)
+	if obj.Stale() != 3 {
+		t.Fatalf("Stale = %d", obj.Stale())
+	}
+	obj.SetStale(250) // saturates
+	if obj.Stale() != MaxStale {
+		t.Fatalf("SetStale must saturate at %d, got %d", MaxStale, obj.Stale())
+	}
+	obj.ClearStale()
+	if obj.Stale() != 0 {
+		t.Fatal("ClearStale failed")
+	}
+}
+
+// TestAgeStaleRule checks the paper's logarithmic rule (§4.1): collection i
+// increments a counter at value k iff 2^k divides i, so a value k means the
+// object was last used about 2^k collections ago.
+func TestAgeStaleRule(t *testing.T) {
+	h, r := allocObject(t, 0, 0)
+	obj := h.Get(r)
+	// Simulate collections 1..128 with no intervening use.
+	values := map[uint64]uint8{}
+	for i := uint64(1); i <= 128; i++ {
+		obj.AgeStale(i)
+		values[i] = obj.Stale()
+	}
+	// After collection 1: 0 -> 1 (2^0 divides everything).
+	if values[1] != 1 {
+		t.Fatalf("after GC 1: stale = %d, want 1", values[1])
+	}
+	// 1 -> 2 at the first even collection.
+	if values[2] != 2 {
+		t.Fatalf("after GC 2: stale = %d, want 2", values[2])
+	}
+	if values[3] != 2 {
+		t.Fatalf("after GC 3: stale = %d, want 2", values[3])
+	}
+	// 2 -> 3 at the first multiple of 4.
+	if values[4] != 3 {
+		t.Fatalf("after GC 4: stale = %d, want 3", values[4])
+	}
+	if values[7] != 3 {
+		t.Fatalf("after GC 7: stale = %d, want 3", values[7])
+	}
+	if values[8] != 4 {
+		t.Fatalf("after GC 8: stale = %d, want 4", values[8])
+	}
+	if values[16] != 5 || values[32] != 6 || values[64] != 7 {
+		t.Fatalf("power-of-two progression wrong: %d %d %d", values[16], values[32], values[64])
+	}
+	// Saturation: stays at MaxStale.
+	if values[128] != MaxStale {
+		t.Fatalf("after GC 128: stale = %d, want %d", values[128], MaxStale)
+	}
+}
+
+// TestAgeStaleApproximatesLog checks the counter's meaning across random
+// restart points: a counter at value k was always reached after at least
+// 2^(k-1) collections without use.
+func TestAgeStaleApproximatesLog(t *testing.T) {
+	prop := func(start uint16) bool {
+		h, r := allocObject(t, 0, 0)
+		obj := h.Get(r)
+		base := uint64(start) + 1
+		gcs := uint64(0)
+		for i := base; ; i++ {
+			obj.AgeStale(i)
+			gcs++
+			if obj.Stale() >= 4 {
+				break
+			}
+			if gcs > 64 {
+				return false // must reach 4 within a bounded window
+			}
+		}
+		// Reaching 4 requires at least 2^3 = 8 aging opportunities... the
+		// guarantee is a lower bound on elapsed collections.
+		return gcs >= 4
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 64}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryMarkEpochs(t *testing.T) {
+	h, r := allocObject(t, 0, 0)
+	obj := h.Get(r)
+	if obj.Marked(1) {
+		t.Fatal("fresh object must be unmarked for epoch 1")
+	}
+	if !obj.TryMark(1) {
+		t.Fatal("first TryMark must claim")
+	}
+	if obj.TryMark(1) {
+		t.Fatal("second TryMark in the same epoch must fail")
+	}
+	if !obj.Marked(1) {
+		t.Fatal("object must be marked after TryMark")
+	}
+	if !obj.TryMark(2) {
+		t.Fatal("a new epoch must claim again")
+	}
+	if obj.Marked(1) {
+		t.Fatal("marking epoch 2 must unmark epoch 1")
+	}
+}
+
+func TestRefSlotAtomics(t *testing.T) {
+	h, r := allocObject(t, 2, 0)
+	obj := h.Get(r)
+	target := MakeRef(99)
+	obj.SetRef(0, target.WithStale())
+	if got := obj.Ref(0); got != target.WithStale() {
+		t.Fatalf("Ref(0) = %v", got)
+	}
+	// CAS succeeds only against the current value — the barrier's
+	// "[iff a.f == t]" store (§4.1).
+	if obj.CompareAndSwapRef(0, target, target.Untagged()) {
+		t.Fatal("CAS with wrong old value must fail")
+	}
+	if !obj.CompareAndSwapRef(0, target.WithStale(), target.Untagged()) {
+		t.Fatal("CAS with correct old value must succeed")
+	}
+	if got := obj.Ref(0); got != target {
+		t.Fatalf("after CAS: %v", got)
+	}
+}

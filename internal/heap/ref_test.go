@@ -1,0 +1,87 @@
+package heap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRefNull(t *testing.T) {
+	if !Null.IsNull() {
+		t.Fatal("Null must be null")
+	}
+	if Null.IsPoisoned() || Null.IsStaleTagged() {
+		t.Fatal("Null must carry no tags")
+	}
+	if got := Null.String(); got != "null" {
+		t.Fatalf("Null.String() = %q", got)
+	}
+}
+
+func TestRefTagRoundTrip(t *testing.T) {
+	r := MakeRef(42)
+	if r.ID() != 42 {
+		t.Fatalf("ID = %d, want 42", r.ID())
+	}
+	if r.Tags() != 0 {
+		t.Fatalf("fresh ref has tags %x", r.Tags())
+	}
+
+	s := r.WithStale()
+	if !s.IsStaleTagged() || s.IsPoisoned() {
+		t.Fatalf("WithStale tags wrong: %v", s)
+	}
+	if s.ID() != 42 {
+		t.Fatalf("tagging changed ID: %d", s.ID())
+	}
+	if s.Untagged() != r {
+		t.Fatalf("Untagged(WithStale) != original")
+	}
+
+	p := r.WithPoison()
+	if !p.IsPoisoned() {
+		t.Fatal("WithPoison must set the poison bit")
+	}
+	// §4.3: poisoning sets the second-lowest bit *as well as* the lowest
+	// bit, so the single fast-path test covers both conditions.
+	if !p.IsStaleTagged() {
+		t.Fatal("WithPoison must also set the stale-check bit")
+	}
+	if p.Untagged() != r {
+		t.Fatal("Untagged(WithPoison) != original")
+	}
+}
+
+func TestRefString(t *testing.T) {
+	r := MakeRef(7)
+	if got := r.String(); got != "ref#7" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := r.WithPoison().String(); got != "ref#7*" {
+		t.Fatalf("poisoned String = %q (the paper's Figure 4 notation)", got)
+	}
+	if got := r.WithStale().String(); got != "ref#7'" {
+		t.Fatalf("stale-tagged String = %q", got)
+	}
+}
+
+// TestRefTagPropertyQuick checks, for arbitrary object IDs, that tagging
+// never disturbs the ID and untagging always restores the original word.
+func TestRefTagPropertyQuick(t *testing.T) {
+	prop := func(id uint32) bool {
+		if id == 0 {
+			id = 1
+		}
+		r := MakeRef(ObjectID(id))
+		return r.ID() == ObjectID(id) &&
+			r.WithStale().ID() == ObjectID(id) &&
+			r.WithPoison().ID() == ObjectID(id) &&
+			r.WithStale().Untagged() == r &&
+			r.WithPoison().Untagged() == r &&
+			!r.WithStale().IsNull() &&
+			r.WithPoison().IsPoisoned() &&
+			r.WithPoison().IsStaleTagged()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package jitsim
+
+import "time"
+
+// instr is one lowered instruction: a small closure over the machine state.
+type instr func(*machine)
+
+// CompiledMethod is the compiler's output.
+type CompiledMethod struct {
+	Name string
+	// IRSize is the post-expansion, post-optimization IR length.
+	IRSize int
+	// CodeBytes is the modelled machine-code size (instruction count times
+	// an average encoding width; barrier tests encode short, calls long).
+	CodeBytes int
+	code      []instr
+}
+
+// CompileStats reports one compilation's cost, the quantities Figure 6's
+// accompanying text measures.
+type CompileStats struct {
+	Method       string
+	Duration     time.Duration
+	IRSizeIn     int // ops before expansion
+	IRSizeOut    int // ops after barrier expansion + optimization
+	CodeBytes    int
+	BarrierSites int
+}
+
+// Compiler lowers methods. The zero value compiles without barriers.
+type Compiler struct {
+	// InsertReadBarriers expands every OpLoadField into the conditional
+	// barrier sequence: the inline test plus the out-of-line call, as the
+	// paper's compilers do ("the compilers insert only the conditional
+	// test and a method call for the barrier's body", §5).
+	InsertReadBarriers bool
+}
+
+// Compile lowers one method: barrier expansion, then the optimization
+// passes (whose cost scales with IR size — that is where barrier bloat
+// turns into compile-time overhead), then code emission.
+func (c *Compiler) Compile(m *Method) (*CompiledMethod, CompileStats) {
+	start := time.Now()
+	ir := append([]Op(nil), m.Ops...)
+	barrierSites := 0
+	if c.InsertReadBarriers {
+		ir, barrierSites = expandBarriers(ir)
+	}
+	ir = simplify(ir)
+	ir = eliminateDeadConsts(ir)
+	scheduleCost(ir) // modelled downstream pass over the (possibly bloated) IR
+
+	cm := emit(m.Name, ir)
+	stats := CompileStats{
+		Method:       m.Name,
+		Duration:     time.Since(start),
+		IRSizeIn:     len(m.Ops),
+		IRSizeOut:    len(ir),
+		CodeBytes:    cm.CodeBytes,
+		BarrierSites: barrierSites,
+	}
+	return cm, stats
+}
+
+// expandBarriers rewrites each reference load into test + out-of-line call
+// + the load itself.
+func expandBarriers(ir []Op) ([]Op, int) {
+	out := make([]Op, 0, len(ir)+len(ir)/4)
+	sites := 0
+	for _, op := range ir {
+		if op.Kind == OpLoadField {
+			out = append(out,
+				Op{Kind: opBarrierTest, A: op.A, B: op.B},
+				Op{Kind: opBarrierCall, A: op.A, B: op.B},
+			)
+			sites++
+		}
+		out = append(out, op)
+	}
+	return out, sites
+}
+
+// simplify folds adjacent constant/arith pairs — a stand-in for the local
+// optimizations whose work grows with IR length.
+func simplify(ir []Op) []Op {
+	out := ir[:0:len(ir)]
+	for i := 0; i < len(ir); i++ {
+		if i+1 < len(ir) && ir[i].Kind == OpConst && ir[i+1].Kind == OpArith && ir[i].A == ir[i+1].A {
+			// Fold const k; arith b into const k*31+b (the machine's arith
+			// semantics), but only when the result fits the immediate.
+			v := int64(ir[i].B)*31 + int64(ir[i+1].B)
+			if int64(int32(v)) == v {
+				out = append(out, Op{Kind: OpConst, A: ir[i].A, B: int32(v)})
+				i++
+				continue
+			}
+		}
+		out = append(out, ir[i])
+	}
+	return out
+}
+
+// eliminateDeadConsts removes constants immediately overwritten by another
+// constant to the same register.
+func eliminateDeadConsts(ir []Op) []Op {
+	out := ir[:0:len(ir)]
+	for i := 0; i < len(ir); i++ {
+		if i+1 < len(ir) && ir[i].Kind == OpConst && ir[i+1].Kind == OpConst && ir[i].A == ir[i+1].A {
+			continue
+		}
+		out = append(out, ir[i])
+	}
+	return out
+}
+
+// scheduleCost models an instruction-scheduling pass: a quadratic-in-window
+// dependence scan, the kind of downstream optimization whose cost the
+// barrier-bloated IR inflates.
+func scheduleCost(ir []Op) int {
+	const window = 16
+	deps := 0
+	for i := range ir {
+		hi := i + window
+		if hi > len(ir) {
+			hi = len(ir)
+		}
+		for j := i + 1; j < hi; j++ {
+			if ir[i].A == ir[j].A || ir[i].A == ir[j].B {
+				deps++
+			}
+		}
+	}
+	return deps
+}
+
+// encoding widths (modelled bytes per instruction kind).
+func codeWidth(k OpKind) int {
+	switch k {
+	case opBarrierTest:
+		return 2 // short test-and-branch
+	case opBarrierCall:
+		return 5 // call to the out-of-line body
+	case OpCall:
+		return 8
+	case OpAlloc:
+		return 12
+	default:
+		return 5
+	}
+}
+
+// emit lowers the IR to executable closures and models code size.
+func emit(name string, ir []Op) *CompiledMethod {
+	code := make([]instr, 0, len(ir))
+	bytes := 0
+	for _, op := range ir {
+		bytes += codeWidth(op.Kind)
+		code = append(code, lower(op))
+	}
+	return &CompiledMethod{Name: name, IRSize: len(ir), CodeBytes: bytes, code: code}
+}

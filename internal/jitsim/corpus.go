@@ -1,0 +1,74 @@
+package jitsim
+
+// Corpus generates a deterministic set of synthetic methods with the op mix
+// of ordinary managed code: roughly one reference load per 12 operations,
+// calibrated so barrier expansion bloats code size by about 10%, matching
+// the paper's measurement.
+func Corpus(benchmark string, methods, opsPerMethod int) []*Method {
+	seed := uint64(1)
+	for _, c := range benchmark {
+		seed = seed*131 + uint64(c)
+	}
+	out := make([]*Method, 0, methods)
+	for i := 0; i < methods; i++ {
+		m := &Method{Name: benchmarkMethodName(benchmark, i)}
+		for j := 0; j < opsPerMethod; j++ {
+			seed ^= seed << 13
+			seed ^= seed >> 7
+			seed ^= seed << 17
+			r := seed % 100
+			a := int32(seed>>8) & 15
+			b := int32(seed>>16) & 1023
+			var k OpKind
+			switch {
+			case r < 8:
+				k = OpLoadField
+			case r < 14:
+				k = OpStoreField
+			case r < 20:
+				k = OpAlloc
+				b = b&7 + 1
+			case r < 26:
+				k = OpCall
+			case r < 60:
+				k = OpConst
+			default:
+				k = OpArith
+			}
+			m.Ops = append(m.Ops, Op{Kind: k, A: a, B: b})
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func benchmarkMethodName(bench string, i int) string {
+	const hex = "0123456789abcdef"
+	return bench + ".m" + string([]byte{hex[(i>>8)&15], hex[(i>>4)&15], hex[i&15]})
+}
+
+// SuiteStats aggregates compilation over a corpus.
+type SuiteStats struct {
+	Benchmark    string
+	Methods      int
+	CompileTime  int64 // nanoseconds, summed
+	IRSizeIn     int
+	IRSizeOut    int
+	CodeBytes    int
+	BarrierSites int
+}
+
+// CompileCorpus compiles every method of a corpus with the given compiler
+// and sums the costs.
+func CompileCorpus(benchmark string, c *Compiler, corpus []*Method) SuiteStats {
+	s := SuiteStats{Benchmark: benchmark, Methods: len(corpus)}
+	for _, m := range corpus {
+		_, st := c.Compile(m)
+		s.CompileTime += int64(st.Duration)
+		s.IRSizeIn += st.IRSizeIn
+		s.IRSizeOut += st.IRSizeOut
+		s.CodeBytes += st.CodeBytes
+		s.BarrierSites += st.BarrierSites
+	}
+	return s
+}

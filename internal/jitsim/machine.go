@@ -1,0 +1,85 @@
+package jitsim
+
+// machine is the tiny register machine compiled code runs on. Its heap is a
+// flat object pool (this package measures compilation, not collection — the
+// real heap lives in internal/heap).
+type machine struct {
+	regs     [16]int64
+	objects  [][]int64
+	fuel     int
+	barrier  int64 // barrier test-hit counter
+	coldWork int64 // modelled out-of-line barrier work
+}
+
+// Result of executing a compiled method.
+type Result struct {
+	Regs        [16]int64
+	BarrierHits int64
+}
+
+// lower turns one IR op into a closure.
+func lower(op Op) instr {
+	a, b := int(op.A)&15, op.B
+	switch op.Kind {
+	case OpConst:
+		return func(m *machine) { m.regs[a] = int64(b) }
+	case OpArith:
+		return func(m *machine) { m.regs[a] = m.regs[a]*31 + int64(b) }
+	case OpAlloc:
+		n := int(b)
+		if n < 1 {
+			n = 1
+		}
+		return func(m *machine) {
+			m.objects = append(m.objects, make([]int64, n))
+			m.regs[a] = int64(len(m.objects) - 1)
+		}
+	case OpLoadField:
+		return func(m *machine) {
+			if o := m.obj(m.regs[a]); o != nil {
+				m.regs[a] = o[int(b)%len(o)]
+			}
+		}
+	case OpStoreField:
+		return func(m *machine) {
+			if o := m.obj(m.regs[a]); o != nil {
+				o[int(b)%len(o)] = m.regs[a]
+			}
+		}
+	case OpBranch:
+		return func(m *machine) { m.fuel-- }
+	case OpCall:
+		return func(m *machine) { m.regs[a] ^= int64(b) }
+	case opBarrierTest:
+		return func(m *machine) {
+			if m.regs[a]&1 != 0 {
+				m.barrier++
+			}
+		}
+	case opBarrierCall:
+		// The barrier body is semantically transparent to the program: it
+		// only maintains runtime metadata. Model its cost without touching
+		// program state.
+		return func(m *machine) { m.coldWork++ }
+	}
+	return func(m *machine) {}
+}
+
+func (m *machine) obj(r int64) []int64 {
+	if r < 0 || int(r) >= len(m.objects) {
+		return nil
+	}
+	return m.objects[int(r)]
+}
+
+// Run executes the compiled method `reps` times and returns the final
+// machine state.
+func (cm *CompiledMethod) Run(reps int) Result {
+	m := &machine{fuel: 1 << 20}
+	for r := 0; r < reps && m.fuel > 0; r++ {
+		for _, in := range cm.code {
+			in(m)
+		}
+	}
+	return Result{Regs: m.regs, BarrierHits: m.barrier}
+}

@@ -1,0 +1,124 @@
+// Package offload implements the Melt/LeakSurvivor-style leak-tolerance
+// baseline the paper compares against (§6, §7): instead of *reclaiming*
+// predicted-dead objects, move highly stale objects to disk. The prediction
+// does not have to be perfect — a mispredicted object is simply faulted
+// back in when the program touches it — but the approach consumes disk
+// without bound, and "all will eventually exhaust disk space and crash".
+//
+// The controller runs after full-heap collections: once the heap is nearly
+// full it moves the stalest objects out (staleness level by level, the
+// "most stale" prediction that Table 2 attributes to these systems) until
+// the heap drops below a comfort threshold or the disk budget is gone.
+package offload
+
+import (
+	"leakpruning/internal/heap"
+)
+
+// DefaultDiskFactor sizes the disk budget relative to the heap when no
+// explicit limit is configured.
+const DefaultDiskFactor = 4
+
+// Config parameterizes the offloader.
+type Config struct {
+	// DiskLimit is the simulated disk budget in bytes.
+	DiskLimit uint64
+	// NearlyFullFraction triggers offloading after a collection (default
+	// 0.9, matching leak pruning's SELECT threshold for comparability).
+	NearlyFullFraction float64
+	// TargetFraction is the post-offload heap fullness goal (default 0.7).
+	TargetFraction float64
+	// MinStale is the minimum staleness an object needs to be moved
+	// (default 2, the same bar the pruning candidates use).
+	MinStale uint8
+}
+
+func (c Config) withDefaults() Config {
+	if c.NearlyFullFraction == 0 {
+		c.NearlyFullFraction = 0.9
+	}
+	if c.TargetFraction == 0 {
+		c.TargetFraction = 0.7
+	}
+	if c.MinStale == 0 {
+		c.MinStale = 2
+	}
+	return c
+}
+
+// Stats summarizes the offloader's activity.
+type Stats struct {
+	Rounds        uint64 // post-GC offload passes that moved something
+	BytesOffload  uint64 // cumulative bytes moved out
+	ObjectsMoved  uint64
+	DiskFullHits  uint64 // offload attempts rejected by the disk budget
+	BytesFaultIn  uint64 // cumulative bytes moved back by accesses
+	ObjectsFaults uint64
+}
+
+// Controller owns the offload policy for one heap. It is driven by the VM
+// inside stop-the-world sections; fault-ins are counted through RecordFault.
+type Controller struct {
+	cfg   Config
+	stats Stats
+}
+
+// New creates an offload controller.
+func New(cfg Config) *Controller {
+	return &Controller{cfg: cfg.withDefaults()}
+}
+
+// Config returns the effective configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Stats returns activity counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// AfterGC runs one offload pass if the heap is still nearly full after a
+// collection. It moves live objects out stalest-first (level 7 down to
+// MinStale) until the heap reaches the target fraction or nothing movable
+// remains. It returns the bytes moved. Must run stop-the-world.
+func (c *Controller) AfterGC(h *heap.Heap) uint64 {
+	st := h.Stats()
+	if st.Fullness() <= c.cfg.NearlyFullFraction {
+		return 0
+	}
+	target := uint64(c.cfg.TargetFraction * float64(st.Limit))
+	var moved uint64
+	diskFull := false
+	for level := uint8(heap.MaxStale); level >= c.cfg.MinStale && !diskFull; level-- {
+		h.ForEach(func(id heap.ObjectID, obj *heap.Object) {
+			if diskFull || obj.IsOffloaded() || obj.Stale() != level {
+				return
+			}
+			if h.Stats().BytesUsed <= target {
+				return
+			}
+			switch err := h.Offload(id); err {
+			case nil:
+				moved += obj.Size()
+				c.stats.ObjectsMoved++
+			case heap.ErrDiskFull:
+				c.stats.DiskFullHits++
+				diskFull = true
+			}
+		})
+		if h.Stats().BytesUsed <= target {
+			break
+		}
+		if level == 0 {
+			break
+		}
+	}
+	if moved > 0 {
+		c.stats.Rounds++
+		c.stats.BytesOffload += moved
+	}
+	return moved
+}
+
+// RecordFault accounts one fault-in of size bytes.
+func (c *Controller) RecordFault(size uint64) {
+	c.stats.ObjectsFaults++
+	c.stats.BytesFaultIn += size
+}

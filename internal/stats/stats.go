@@ -1,0 +1,97 @@
+// Package stats provides the small statistical helpers the experiment
+// harness uses: median-of-trials (the paper reports the median of five),
+// geometric means (Figure 6/7 aggregate bars), and normalization.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Median returns the median of xs (the mean of the middle two for even
+// lengths). It returns 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	// Halve before adding so the sum of two near-max values cannot
+	// overflow to infinity.
+	return s[n/2-1]/2 + s[n/2]/2
+}
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive values
+// (which have no geometric mean); it returns 0 when nothing remains.
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Min returns the minimum, or 0 for an empty slice. Benchmark harnesses
+// compare minima across trials: the minimum is the least-perturbed
+// observation of a deterministic workload.
+func Min(xs []float64) float64 {
+	m := 0.0
+	for i, x := range xs {
+		if i == 0 || x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	m := 0.0
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Overhead returns (with-without)/without as a percentage.
+func Overhead(with, without float64) float64 {
+	if without == 0 {
+		return 0
+	}
+	return (with/without - 1) * 100
+}
+
+// Ratio returns a/b, or +Inf when b is 0 and a > 0, or 0 when both are 0.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return a / b
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Fatal("empty median must be 0")
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median = %v", got)
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 {
+		t.Fatal("Median reordered its input")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v", got)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{0, -1}) != 0 {
+		t.Fatal("non-positive inputs must be ignored")
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{2, 8, 5}
+	if Mean(xs) != 5 || Min(xs) != 2 || Max(xs) != 8 {
+		t.Fatalf("mean/min/max = %v/%v/%v", Mean(xs), Min(xs), Max(xs))
+	}
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty aggregates must be 0")
+	}
+}
+
+func TestOverheadAndRatio(t *testing.T) {
+	if got := Overhead(105, 100); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("Overhead = %v", got)
+	}
+	if Overhead(1, 0) != 0 {
+		t.Fatal("zero-base overhead must be 0")
+	}
+	if Ratio(10, 5) != 2 {
+		t.Fatal("Ratio")
+	}
+	if !math.IsInf(Ratio(1, 0), 1) || Ratio(0, 0) != 0 {
+		t.Fatal("degenerate ratios")
+	}
+}
+
+// Property: the median lies between min and max, and for sorted odd-length
+// inputs equals the middle element.
+func TestMedianQuick(t *testing.T) {
+	prop := func(xs []float64) bool {
+		for i := range xs {
+			if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) {
+				xs[i] = 0
+			}
+		}
+		if len(xs) == 0 {
+			return Median(xs) == 0
+		}
+		m := Median(xs)
+		if m < Min(xs) || m > Max(xs) {
+			return false
+		}
+		if len(xs)%2 == 1 {
+			s := append([]float64(nil), xs...)
+			sort.Float64s(s)
+			return m == s[len(s)/2]
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: geomean of positive values lies between min and max.
+func TestGeoMeanQuick(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		var xs []float64
+		for _, r := range raw {
+			xs = append(xs, float64(r%1000)+1)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := GeoMean(xs)
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

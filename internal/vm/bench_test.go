@@ -1,0 +1,81 @@
+package vm
+
+import (
+	"testing"
+
+	"leakpruning/internal/heap"
+)
+
+// BenchmarkBarrierFastPath measures a reference load whose tag is clear —
+// the common case whose cost Figure 6 bounds at a few percent.
+func BenchmarkBarrierFastPath(b *testing.B) {
+	v := New(Options{HeapLimit: 32 << 20, EnableBarriers: true, GCWorkers: 1})
+	node := v.DefineClass("Node", 1, 0)
+	err := v.RunThread("bench", func(t *Thread) {
+		a := t.New(node)
+		t.Store(a, 0, t.New(node))
+		b.ResetTimer()
+		for i := 0; i < b.N; i += 64 {
+			t.Scope(func() {
+				for j := 0; j < 64; j++ {
+					t.Load(a, 0)
+				}
+			})
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkBarrierColdPath measures the out-of-line body (§4.1): tag clear,
+// CAS store-back, stale-counter reset. Each round re-arms the slot the way
+// a collection would.
+func BenchmarkBarrierColdPath(b *testing.B) {
+	v := New(Options{HeapLimit: 32 << 20, EnableBarriers: true, GCWorkers: 1})
+	node := v.DefineClass("Node", 1, 0)
+	err := v.RunThread("bench", func(t *Thread) {
+		a := t.New(node)
+		tgt := t.New(node)
+		t.Store(a, 0, tgt)
+		src := v.heap.Get(a)
+		b.ResetTimer()
+		for i := 0; i < b.N; i += 64 {
+			t.Scope(func() {
+				for j := 0; j < 64; j++ {
+					src.SetRef(0, heap.Ref(tgt).WithStale())
+					t.Load(a, 0)
+				}
+			})
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkBarrierVariants compares the two Figure 6 code shapes on the
+// fast path.
+func BenchmarkBarrierVariants(b *testing.B) {
+	for _, variant := range []BarrierVariant{BarrierConditional, BarrierUnconditional} {
+		b.Run(variant.String(), func(b *testing.B) {
+			v := New(Options{HeapLimit: 32 << 20, EnableBarriers: true, Barrier: variant, GCWorkers: 1})
+			node := v.DefineClass("Node", 1, 0)
+			err := v.RunThread("bench", func(t *Thread) {
+				a := t.New(node)
+				t.Store(a, 0, t.New(node))
+				b.ResetTimer()
+				for i := 0; i < b.N; i += 64 {
+					t.Scope(func() {
+						for j := 0; j < 64; j++ {
+							t.Load(a, 0)
+						}
+					})
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

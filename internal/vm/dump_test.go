@@ -1,0 +1,99 @@
+package vm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"leakpruning/internal/heap"
+)
+
+func TestDumpDot(t *testing.T) {
+	v := New(Options{HeapLimit: 1 << 20, EnableBarriers: true, GCWorkers: 1})
+	node := v.DefineClass("Node", 1, 64)
+	g := v.AddGlobal()
+	err := v.RunThread("main", func(th *Thread) {
+		a := th.New(node)
+		b := th.New(node)
+		c := th.New(node)
+		th.Store(a, 0, b)
+		th.Store(b, 0, c)
+		th.StoreGlobal(g, a)
+		// Poison b -> c by hand (as a PRUNE collection would) and collect.
+		v.heap.Get(b).SetRef(0, c.WithPoison())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Collect() // reclaims c
+
+	var buf bytes.Buffer
+	if err := v.DumpDot(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	for _, want := range []string{
+		"digraph heap {",
+		"Node#",                   // labelled nodes
+		"shape=house",             // the root-referenced object
+		"style=dashed, color=red", // the poisoned edge tombstone
+		"}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+	// The reclaimed target must not appear as a node.
+	if strings.Contains(dot, "Node#3") && !strings.Contains(dot, "pruned") {
+		t.Fatalf("reclaimed object rendered:\n%s", dot)
+	}
+}
+
+func TestDumpDotTruncates(t *testing.T) {
+	v := New(Options{HeapLimit: 4 << 20, EnableBarriers: true, GCWorkers: 1})
+	node := v.DefineClass("Node", 0, 0)
+	g := v.AddGlobal()
+	chain := v.DefineClass("Chain", 2, 0)
+	err := v.RunThread("main", func(th *Thread) {
+		for i := 0; i < 100; i++ {
+			n := th.New(chain)
+			th.Store(n, 0, th.New(node))
+			th.Store(n, 1, th.LoadGlobal(g))
+			th.StoreGlobal(g, n)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := v.DumpDot(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "truncated at 10 nodes") {
+		t.Fatal("truncation marker missing")
+	}
+}
+
+func TestDumpDotOffloadedShading(t *testing.T) {
+	v := New(Options{HeapLimit: 1 << 20, EnableBarriers: true, GCWorkers: 1, OffloadDisk: 1 << 20})
+	node := v.DefineClass("Node", 0, 64)
+	g := v.AddGlobal()
+	var r heap.Ref
+	err := v.RunThread("main", func(th *Thread) {
+		r = th.New(node)
+		th.StoreGlobal(g, r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.heap.Offload(r.ID()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := v.DumpDot(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fillcolor=lightgrey") {
+		t.Fatal("offloaded object not shaded")
+	}
+}

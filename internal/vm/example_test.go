@@ -1,0 +1,113 @@
+package vm_test
+
+import (
+	"fmt"
+
+	"leakpruning/internal/core"
+	"leakpruning/internal/vm"
+	"leakpruning/internal/vmerrors"
+)
+
+// Example shows the minimal lifecycle: define classes, run a mutator
+// thread, allocate and link objects, and read the error a leaky program
+// ends with.
+func Example() {
+	machine := vm.New(vm.Options{
+		HeapLimit:      64 << 10, // 64 KB — tiny on purpose
+		EnableBarriers: true,
+		GCWorkers:      1,
+	})
+	node := machine.DefineClass("Node", 1, 1024)
+	head := machine.AddGlobal()
+
+	err := machine.RunThread("main", func(t *vm.Thread) {
+		for { // leak forever: every node stays reachable from the global
+			t.Scope(func() {
+				n := t.New(node)
+				t.Store(n, 0, t.LoadGlobal(head))
+				t.StoreGlobal(head, n)
+			})
+		}
+	})
+	fmt.Println("out of memory:", vmerrors.IsOOM(err))
+	// Output:
+	// out of memory: true
+}
+
+// Example_leakPruning enables the paper's default prediction policy: the
+// same unbounded leak now runs for as long as we let it, because the
+// pruner keeps reclaiming the dead list tail.
+func Example_leakPruning() {
+	machine := vm.New(vm.Options{
+		HeapLimit:      64 << 10,
+		EnableBarriers: true,
+		GCWorkers:      1,
+		Policy:         core.DefaultPolicy{},
+	})
+	node := machine.DefineClass("Node", 1, 1024)
+	scratch := machine.DefineClass("Scratch", 0, 64)
+	head := machine.AddGlobal()
+
+	err := machine.RunThread("main", func(t *vm.Thread) {
+		for i := 0; i < 5000; i++ {
+			t.Scope(func() {
+				n := t.New(node)
+				t.Store(n, 0, t.LoadGlobal(head))
+				t.StoreGlobal(head, n)
+				t.New(scratch) // transient garbage
+			})
+		}
+	})
+	fmt.Println("survived:", err == nil)
+	fmt.Println("pruned anything:", machine.Stats().PrunedRefs > 0)
+	// Output:
+	// survived: true
+	// pruned anything: true
+}
+
+// Example_poisonedAccess demonstrates the semantics-preservation story: a
+// mispredicting policy (most-stale) eventually poisons a live reference,
+// and the access raises an InternalError whose cause is the out-of-memory
+// error the program had already (effectively) hit.
+func Example_poisonedAccess() {
+	machine := vm.New(vm.Options{
+		HeapLimit:      512 << 10,
+		EnableBarriers: true,
+		GCWorkers:      1,
+		Policy:         core.MostStalePolicy{},
+	})
+	holder := machine.DefineClass("Holder", 2, 0)
+	payload := machine.DefineClass("Payload", 0, 2048)
+	rare := machine.DefineClass("RarelyUsed", 1, 256)
+	scratch := machine.DefineClass("Scratch", 0, 64)
+	head := machine.AddGlobal()
+	session := machine.AddGlobal()
+
+	err := machine.RunThread("main", func(t *vm.Thread) {
+		t.Scope(func() {
+			s := t.New(rare)
+			t.Store(s, 0, t.New(payload))
+			t.StoreGlobal(session, s)
+		})
+		for i := 0; i < 1000000; i++ {
+			t.Scope(func() {
+				h := t.New(holder)
+				t.Store(h, 0, t.New(payload))
+				t.Store(h, 1, t.LoadGlobal(head))
+				t.StoreGlobal(head, h)
+				for j := 0; j < 4; j++ {
+					t.New(scratch)
+				}
+				if i%400 == 399 {
+					// The rarely-used-but-live structure most-stale prunes.
+					t.Load(t.LoadGlobal(session), 0)
+				}
+			})
+		}
+	})
+	fmt.Println("internal error:", vmerrors.IsInternal(err))
+	fmt.Println("caused by OOM:", vmerrors.IsOOM(err))
+	// Output:
+	// internal error: true
+	// caused by OOM: true
+}

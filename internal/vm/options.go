@@ -1,0 +1,151 @@
+// Package vm is the managed-runtime facade: it ties the simulated heap, the
+// parallel collector, and the leak-pruning controller together behind the
+// mutator API that programs (workloads, examples) are written against —
+// class definition, allocation, threads with stack-frame roots, globals,
+// and barrier-checked reference loads.
+package vm
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"leakpruning/internal/core"
+	"leakpruning/internal/vmerrors"
+)
+
+// BarrierVariant selects the read-barrier code shape. The paper measures
+// barrier overhead on two microarchitectures (Pentium 4 and Core 2,
+// Figure 6); here the two "platforms" are two implementations of the same
+// semantics with different fast-path costs.
+type BarrierVariant int
+
+const (
+	// BarrierConditional is the paper's barrier: a single conditional test
+	// on the loaded word with the body out of line (the default).
+	BarrierConditional BarrierVariant = iota
+	// BarrierUnconditional always executes the mask-and-check sequence,
+	// trading the branch for straight-line work.
+	BarrierUnconditional
+)
+
+// String names the variant.
+func (b BarrierVariant) String() string {
+	if b == BarrierUnconditional {
+		return "unconditional"
+	}
+	return "conditional"
+}
+
+// Options configures a VM. The zero value is usable after applying
+// defaults: a 64 MB simulated heap, barriers enabled, pruning disabled.
+type Options struct {
+	// HeapLimit is the maximum heap size in simulated bytes (default 64 MB).
+	HeapLimit uint64
+
+	// GCWorkers is the tracer parallelism (default: min(4, GOMAXPROCS)).
+	GCWorkers int
+
+	// Policy enables leak pruning with the given prediction algorithm.
+	// Nil reproduces the unmodified VM ("Base").
+	Policy core.Policy
+
+	// OffloadDisk enables the Melt/LeakSurvivor-style baseline instead of
+	// pruning: highly stale objects are moved to a simulated disk of this
+	// many bytes and faulted back in on access (§6's comparison systems).
+	// Mutually exclusive with Policy.
+	OffloadDisk uint64
+
+	// EnableBarriers compiles read barriers into the mutator API. Pruning
+	// requires barriers; disabling them (for overhead measurement) with a
+	// policy set is a configuration error.
+	EnableBarriers bool
+
+	// Generational enables nursery (minor) collections between full-heap
+	// collections, as in the paper's generational mark-sweep substrate
+	// (§5). Minor collections reclaim short-lived objects cheaply; the
+	// staleness clock and all leak-pruning activity stay on the full-heap
+	// collection cadence.
+	Generational bool
+
+	// NurserySize is the allocation volume (bytes) between minor
+	// collections (default HeapLimit/8; generational mode only).
+	NurserySize uint64
+
+	// Barrier selects the read-barrier implementation.
+	Barrier BarrierVariant
+
+	// LazyBarriers models the production refinement §5 suggests: "trigger
+	// recompilation of all methods with read barriers only when leak
+	// pruning enters the OBSERVE state". Until the controller leaves
+	// INACTIVE, reference loads skip the barrier test entirely (safe: the
+	// collector only tags references from OBSERVE onward), so non-leaking
+	// programs pay nothing.
+	LazyBarriers bool
+
+	// ExpectedUseFraction, NearlyFullFraction, and FullHeapOnly pass
+	// through to the pruning controller (§3.1); zero values mean the
+	// paper's defaults (0.5, 0.9, option (2)).
+	ExpectedUseFraction float64
+	NearlyFullFraction  float64
+	FullHeapOnly        bool
+
+	// EdgeTableSlots sizes the edge table (default 16K).
+	EdgeTableSlots int
+
+	// ForceState pins the controller state for overhead experiments
+	// (Figure 6/7); Forced enables it.
+	ForceState core.State
+	Forced     bool
+
+	// GCLog, if set, receives one human-readable line per collection
+	// (full and minor), in the style of a JVM's verbose-GC log. Written
+	// inside the stop-the-world section.
+	GCLog io.Writer
+
+	// OnGC, if set, is called after every full-heap collection with the
+	// collection result and post-collection heap statistics. Harnesses use
+	// it to record the paper's reachable-memory time series. It runs
+	// inside the stop-the-world section and must not touch the VM.
+	OnGC func(Event)
+
+	// OnPrune and OnOOM pass through to the controller's reporting hooks.
+	OnPrune func(core.PruneEvent)
+	// OnOOM receives the out-of-memory warning issued the first time the
+	// program exhausts memory (§3.2).
+	OnOOM func(*vmerrors.OutOfMemoryError)
+}
+
+func (o Options) withDefaults() Options {
+	if o.HeapLimit == 0 {
+		o.HeapLimit = 64 << 20
+	}
+	if o.GCWorkers == 0 {
+		o.GCWorkers = runtime.GOMAXPROCS(0)
+		if o.GCWorkers > 4 {
+			o.GCWorkers = 4
+		}
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Policy != nil && !o.EnableBarriers {
+		return fmt.Errorf("vm: leak pruning (policy %q) requires read barriers", o.Policy.Name())
+	}
+	if o.Forced && o.Policy != nil {
+		return fmt.Errorf("vm: Forced state and a pruning policy are mutually exclusive")
+	}
+	if o.OffloadDisk > 0 {
+		if o.Policy != nil {
+			return fmt.Errorf("vm: leak pruning and disk offloading are mutually exclusive")
+		}
+		if !o.EnableBarriers {
+			return fmt.Errorf("vm: disk offloading requires read barriers (staleness tracking and fault-ins)")
+		}
+		if o.Forced {
+			return fmt.Errorf("vm: Forced state and disk offloading are mutually exclusive")
+		}
+	}
+	return nil
+}

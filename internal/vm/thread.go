@@ -1,0 +1,330 @@
+package vm
+
+import (
+	"sync/atomic"
+
+	"leakpruning/internal/heap"
+	"leakpruning/internal/vmerrors"
+)
+
+// Thread is one mutator context: a stack of frames whose slots are GC
+// roots. A Thread is not a goroutine — it is the root structure a goroutine
+// mutates through. Each Thread must be used by at most one goroutine at a
+// time; distinct Threads may run concurrently.
+//
+// Mutator operations take the VM's world lock in read mode, so they
+// interleave freely with each other and stop at collection boundaries.
+type Thread struct {
+	vm     *VM
+	name   string
+	frames []*Frame
+	exited bool
+}
+
+// Frame is one stack frame: a fixed number of reference slots that are GC
+// roots while the frame is pushed, plus an implicit set of local references.
+//
+// Every reference returned to the mutator by New, Load, or LoadGlobal is
+// recorded as a local of the innermost frame and stays a root until that
+// frame pops — the analogue of the register and stack roots a real VM
+// scans. This matters specifically for leak pruning: pruning reclaims
+// *reachable* objects, so without register roots a reference held only in a
+// Go variable could be freed out from under the mutator when the structure
+// above it is poisoned. With locals rooted, the in-hand object stays live
+// and only a later load through the poisoned heap slot traps, exactly as in
+// the paper.
+type Frame struct {
+	slots  []uint64
+	locals []uint64
+}
+
+// NewThread registers a new mutator thread. Threads created this way stay
+// registered (their stacks remain roots) until Exit is called — which is
+// exactly how the Mckoi workload leaks thread stacks (§6).
+func (v *VM) NewThread(name string) *Thread {
+	t := &Thread{vm: v, name: name}
+	v.threadMu.Lock()
+	v.threads[t] = struct{}{}
+	v.threadMu.Unlock()
+	return t
+}
+
+// RunThread creates a thread, runs body on it in the calling goroutine,
+// unregisters the thread, and converts any VM trap (OutOfMemoryError,
+// InternalError) into the returned error. Non-VM panics propagate.
+//
+// The thread starts with a base frame so local references are always
+// rooted; long-running loops should still bound root growth with Scope.
+func (v *VM) RunThread(name string, body func(*Thread)) (err error) {
+	t := v.NewThread(name)
+	defer t.Exit()
+	defer func() { err = vmerrors.Handle(recover(), err) }()
+	t.PushFrame(0)
+	defer t.PopFrame()
+	body(t)
+	return nil
+}
+
+// Name returns the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// VM returns the owning VM.
+func (t *Thread) VM() *VM { return t.vm }
+
+// Exit unregisters the thread; its stack stops being a root. Exit is
+// idempotent.
+func (t *Thread) Exit() {
+	if t.exited {
+		return
+	}
+	t.exited = true
+	t.vm.threadMu.Lock()
+	delete(t.vm.threads, t)
+	t.vm.threadMu.Unlock()
+}
+
+// PushFrame pushes a frame with n reference slots and returns it.
+func (t *Thread) PushFrame(n int) *Frame {
+	f := &Frame{slots: make([]uint64, n)}
+	t.vm.world.RLock()
+	t.frames = append(t.frames, f)
+	t.vm.world.RUnlock()
+	return f
+}
+
+// PopFrame pops the most recent frame.
+func (t *Thread) PopFrame() {
+	t.vm.world.RLock()
+	if len(t.frames) == 0 {
+		t.vm.world.RUnlock()
+		panic("vm: PopFrame on empty stack")
+	}
+	t.frames = t.frames[:len(t.frames)-1]
+	t.vm.world.RUnlock()
+}
+
+// InFrame runs body with a fresh frame of n slots, popping it afterwards
+// even if body traps.
+func (t *Thread) InFrame(n int, body func(*Frame)) {
+	f := t.PushFrame(n)
+	defer t.PopFrame()
+	body(f)
+}
+
+// Scope runs body with a fresh slotless frame, so the local references body
+// accumulates (from New/Load) are released when it returns. Iteration
+// harnesses wrap each unit of work in a Scope to bound root growth.
+func (t *Thread) Scope(body func()) {
+	t.PushFrame(0)
+	defer t.PopFrame()
+	body()
+}
+
+// root records a reference as a local of the innermost frame. Must be
+// called while holding the world read lock (so it cannot race with a
+// collection's root scan).
+func (t *Thread) root(r heap.Ref) heap.Ref {
+	if r.IsNull() {
+		return r
+	}
+	if n := len(t.frames); n > 0 {
+		f := t.frames[n-1]
+		f.locals = append(f.locals, uint64(r.Untagged()))
+	}
+	return r
+}
+
+// Get reads a local slot. Local slots hold untagged references: tags only
+// live on heap reference fields.
+func (f *Frame) Get(i int) heap.Ref { return heap.Ref(atomic.LoadUint64(&f.slots[i])) }
+
+// Set writes a local slot.
+func (f *Frame) Set(i int, r heap.Ref) { atomic.StoreUint64(&f.slots[i], uint64(r.Untagged())) }
+
+// Len returns the frame's slot count.
+func (f *Frame) Len() int { return len(f.slots) }
+
+// visitRoots reports every live frame slot to the collector. The caller
+// holds the world lock (stop-the-world), so the frame list is stable.
+func (t *Thread) visitRoots(fn func(heap.Ref)) {
+	for _, f := range t.frames {
+		for i := range f.slots {
+			fn(heap.Ref(atomic.LoadUint64(&f.slots[i])))
+		}
+		for _, l := range f.locals {
+			fn(heap.Ref(l))
+		}
+	}
+}
+
+// New allocates an object of the given class, running the collector (and
+// the pruning state machine) if the heap is full. It traps with
+// OutOfMemoryError when memory is exhausted and pruning cannot help.
+func (t *Thread) New(class heap.ClassID, opts ...heap.AllocOption) heap.Ref {
+	v := t.vm
+	v.allocs.Add(1)
+	v.world.RLock()
+	ref, err := v.heap.Allocate(class, opts...)
+	if err == nil {
+		t.root(ref)
+		v.world.RUnlock()
+		if v.opts.Generational && v.nurseryFull() {
+			v.maybeMinorCollect()
+		}
+		if v.heap.BytesUsed() > v.gcTrigger.Load() {
+			v.maybeCollect()
+		}
+		return ref
+	}
+	v.world.RUnlock()
+	c := v.classes.Get(class)
+	size := heap.ObjectSize(c.RefSlots, c.ScalarBytes) // upper-bound estimate for the OOM report
+	return v.allocSlow(t, class, opts, size)
+}
+
+// Load reads reference slot `slot` of the object behind a, applying the
+// read barrier (§4.1): if the collector tagged the reference since the last
+// collection, the cold path clears the tag, resets the target's stale
+// counter, and updates the edge table; if the reference is poisoned, the
+// thread traps with an InternalError whose cause is the averted
+// OutOfMemoryError (§4.4).
+func (t *Thread) Load(a heap.Ref, slot int) heap.Ref {
+	v := t.vm
+	v.loads.Add(1)
+	if v.offloader != nil {
+		t.ensureResident(a)
+	}
+	v.world.RLock()
+	defer v.world.RUnlock()
+	src := v.heap.Get(a)
+	b := src.Ref(slot)
+	if !v.barriersActive.Load() {
+		// Barriers compiled out (EnableBarriers false) or not yet
+		// "recompiled in" (LazyBarriers while the controller is INACTIVE).
+		// Locals are still rooted: rooting is part of the memory model,
+		// not of the barrier, so overhead comparisons stay like for like.
+		return t.root(b.Untagged())
+	}
+	if v.opts.Barrier == BarrierUnconditional {
+		return t.root(t.loadUnconditional(src, a.ID(), slot, b))
+	}
+	// Conditional barrier: the fast path is a single test of the low bit
+	// (poisoning sets it too), with the body out of line.
+	if b&heap.TagStale != 0 {
+		b = v.barrierColdPath(src, a.ID(), slot, b)
+	}
+	return t.root(b)
+}
+
+// loadUnconditional is the alternative barrier shape: it always performs
+// the mask, making the fast path branch-free at the cost of extra
+// straight-line work (the "second platform" of Figure 6).
+func (t *Thread) loadUnconditional(src *heap.Object, srcID heap.ObjectID, slot int, b heap.Ref) heap.Ref {
+	tags := b.Tags()
+	cleared := b.Untagged()
+	if tags != 0 {
+		return t.vm.barrierColdPath(src, srcID, slot, b)
+	}
+	return cleared
+}
+
+// barrierColdPath implements the out-of-line barrier body from §4.1/§4.4.
+//
+//go:noinline
+func (v *VM) barrierColdPath(src *heap.Object, srcID heap.ObjectID, slot int, b heap.Ref) heap.Ref {
+	if b.IsPoisoned() {
+		v.throwPoisonTrap(src.Class(), srcID, slot)
+	}
+	v.barrierHits.Add(1)
+	old := b
+	b = b.Untagged()
+	// Store back atomically with respect to the read: if another thread
+	// already overwrote the slot, its value is a valid serialization and
+	// we can safely use the reference we loaded (§4.1).
+	src.CompareAndSwapRef(slot, old, b)
+	tgt := v.heap.Get(b)
+	if v.ctrl.Observing() {
+		if s := tgt.Stale(); s > 1 {
+			v.ctrl.Edges().RecordUse(src.Class(), tgt.Class(), s)
+		}
+	}
+	tgt.ClearStale()
+	return b
+}
+
+// Store writes val into reference slot `slot` of the object behind a.
+// Stored references are untagged (a reference in hand was necessarily
+// loaded through the barrier or freshly allocated).
+func (t *Thread) Store(a heap.Ref, slot int, val heap.Ref) {
+	v := t.vm
+	if v.offloader != nil {
+		t.ensureResident(a)
+	}
+	v.world.RLock()
+	defer v.world.RUnlock()
+	src := v.heap.Get(a)
+	src.SetRef(slot, val.Untagged())
+	// Generational write barrier: an old object now holding a young
+	// reference must be in the remembered set for the next minor
+	// collection.
+	if v.opts.Generational && !val.IsNull() && !src.IsYoung() {
+		if tgt, ok := v.heap.Lookup(val.ID()); ok && tgt.IsYoung() {
+			v.rememberStore(src, a.ID())
+		}
+	}
+}
+
+// ensureResident faults an offloaded object back in before the mutator
+// touches it (the Melt baseline's read/write barrier behaviour: disk-based
+// approaches "retrieve objects from disk if the program accesses them").
+func (t *Thread) ensureResident(a heap.Ref) {
+	v := t.vm
+	v.world.RLock()
+	obj, ok := v.heap.Lookup(a.ID())
+	resident := ok && !obj.IsOffloaded()
+	v.world.RUnlock()
+	if !resident {
+		v.faultIn(a.ID())
+	}
+}
+
+// NumRefs returns the number of reference slots of the object behind a.
+func (t *Thread) NumRefs(a heap.Ref) int {
+	v := t.vm
+	v.world.RLock()
+	defer v.world.RUnlock()
+	return v.heap.Get(a).NumRefs()
+}
+
+// ClassOf returns the class name of the object behind a.
+func (t *Thread) ClassOf(a heap.Ref) string {
+	v := t.vm
+	v.world.RLock()
+	defer v.world.RUnlock()
+	return v.classes.Name(v.heap.Get(a).Class())
+}
+
+// SizeOf returns the simulated size of the object behind a.
+func (t *Thread) SizeOf(a heap.Ref) uint64 {
+	v := t.vm
+	v.world.RLock()
+	defer v.world.RUnlock()
+	return v.heap.Get(a).Size()
+}
+
+// LoadGlobal reads a global root slot. Globals are roots, so they carry no
+// tags and need no barrier (§4.1 instruments heap loads only).
+func (t *Thread) LoadGlobal(g int) heap.Ref {
+	v := t.vm
+	v.world.RLock()
+	defer v.world.RUnlock()
+	return t.root(heap.Ref(atomic.LoadUint64(&v.globals[g])))
+}
+
+// StoreGlobal writes a global root slot.
+func (t *Thread) StoreGlobal(g int, r heap.Ref) {
+	v := t.vm
+	v.world.RLock()
+	defer v.world.RUnlock()
+	atomic.StoreUint64(&v.globals[g], uint64(r.Untagged()))
+}

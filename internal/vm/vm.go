@@ -1,0 +1,671 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"leakpruning/internal/core"
+	"leakpruning/internal/edgetable"
+	"leakpruning/internal/gc"
+	"leakpruning/internal/heap"
+	"leakpruning/internal/offload"
+	"leakpruning/internal/vmerrors"
+)
+
+// Event describes one completed full-heap collection.
+type Event struct {
+	Result gc.Result
+	Heap   heap.Stats
+	State  core.State
+}
+
+// Stats aggregates VM-level counters.
+type Stats struct {
+	Collections   uint64
+	MinorGCs      uint64
+	MinorGCTime   time.Duration
+	MinorFrees    uint64
+	GCTime        time.Duration
+	Loads         uint64 // reference loads through the mutator API
+	BarrierHits   uint64 // cold-path executions (tag bit set)
+	PoisonTraps   uint64 // InternalErrors raised for poisoned accesses
+	Allocations   uint64
+	PrunedRefs    uint64
+	FinalizersRun uint64
+}
+
+// FinalizerInfo is passed to finalizer functions when their object is
+// collected. Finalizers run inside the collection's stop-the-world section
+// and must not touch the VM; they model external-resource cleanup (§2).
+type FinalizerInfo struct {
+	Class string
+	Size  uint64
+}
+
+type prunedEdgeKey struct {
+	src  heap.ObjectID
+	slot int
+}
+
+// maxPrunedEdgeRecords bounds the poisoned-reference diagnostic map.
+const maxPrunedEdgeRecords = 1 << 20
+
+// VM is one simulated managed runtime instance.
+type VM struct {
+	opts Options
+
+	classes   *heap.Registry
+	heap      *heap.Heap
+	collector *gc.Collector
+	ctrl      *core.Controller
+	offloader *offload.Controller // Melt-style baseline; nil unless enabled
+
+	// world serializes mutator operations (read side) against collections
+	// (write side): holding the write lock is the stop-the-world.
+	world sync.RWMutex
+
+	threadMu sync.Mutex
+	threads  map[*Thread]struct{}
+
+	globalMu sync.Mutex
+	globals  []uint64
+
+	finalMu    sync.Mutex
+	finalizers map[heap.ObjectID]func(FinalizerInfo)
+
+	// prunedEdges remembers the target class of poisoned references so the
+	// InternalError raised on access can name the edge type.
+	prunedMu    sync.Mutex
+	prunedEdges map[prunedEdgeKey]heap.ClassID
+
+	// lastGCAlloc is the cumulative allocation count at the previous
+	// collection, used to gate stale-counter aging on mutator progress.
+	lastGCAlloc uint64
+	// lastOffloaded is how many bytes the offload baseline moved to disk in
+	// the most recent collection (progress for the allocation slow path).
+	lastOffloaded uint64
+
+	// remMu guards the remembered set: old objects into which a young
+	// reference was stored since the last collection (generational mode).
+	remMu  sync.Mutex
+	remset []heap.ObjectID
+	// allocAtLastGC is the cumulative allocation byte count at the last
+	// collection of either kind; the nursery trigger compares against it.
+	allocAtLastGC atomic.Uint64
+	minorTime     atomic.Int64
+	minorFrees    atomic.Uint64
+
+	// barriersActive gates the read-barrier fast path under LazyBarriers:
+	// it flips to true (permanently — OBSERVE is permanent) when the
+	// controller starts observing, standing in for the recompilation of
+	// all methods with barriers.
+	barriersActive atomic.Bool
+
+	// gcTrigger is the soft collection threshold: once BytesUsed exceeds
+	// it, the next allocation runs a full-heap collection even though the
+	// hard limit is not reached. It models the adaptive heap sizing real
+	// VMs perform: collections happen throughout the fill toward the
+	// maximum heap, which is what gives the pruning state machine time to
+	// observe staleness before memory is exhausted (§3.1).
+	gcTrigger atomic.Uint64
+
+	loads       atomic.Uint64
+	barrierHits atomic.Uint64
+	poisonTraps atomic.Uint64
+	allocs      atomic.Uint64
+	gcTimeNanos atomic.Int64
+	finalizersN atomic.Uint64
+}
+
+// New constructs a VM. Invalid option combinations panic: configuration is
+// program structure, not a runtime condition.
+func New(opts Options) *VM {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		panic(err)
+	}
+	classes := heap.NewRegistry()
+	v := &VM{
+		opts:        opts,
+		classes:     classes,
+		heap:        heap.New(classes, opts.HeapLimit),
+		threads:     make(map[*Thread]struct{}),
+		finalizers:  make(map[heap.ObjectID]func(FinalizerInfo)),
+		prunedEdges: make(map[prunedEdgeKey]heap.ClassID),
+	}
+	v.collector = gc.NewCollector(v.heap, (*rootVisitor)(v), opts.GCWorkers)
+	v.gcTrigger.Store(softTrigger(0, opts.HeapLimit))
+	if opts.EnableBarriers && !opts.LazyBarriers {
+		v.barriersActive.Store(true)
+	}
+	ctrlOpts := core.Options{
+		Policy:              opts.Policy,
+		ExpectedUseFraction: opts.ExpectedUseFraction,
+		NearlyFullFraction:  opts.NearlyFullFraction,
+		FullHeapOnly:        opts.FullHeapOnly,
+		EdgeTableSlots:      opts.EdgeTableSlots,
+		ForceState:          opts.ForceState,
+		Forced:              opts.Forced,
+		OnPrune:             opts.OnPrune,
+		OnOOM:               opts.OnOOM,
+	}
+	if opts.OffloadDisk > 0 {
+		// The offload baseline needs staleness tracking on every
+		// collection; pin the controller in OBSERVE to get the tagging and
+		// aging plans without any pruning.
+		ctrlOpts.Forced = true
+		ctrlOpts.ForceState = core.StateObserve
+		v.heap.SetDiskLimit(opts.OffloadDisk)
+		v.offloader = offload.New(offload.Config{DiskLimit: opts.OffloadDisk})
+	}
+	if opts.OffloadDisk > 0 || opts.Forced {
+		// Offloading and forced-state overhead runs need barriers from the
+		// start regardless of laziness.
+		if opts.EnableBarriers {
+			v.barriersActive.Store(true)
+		}
+	}
+	if opts.Generational {
+		v.heap.EnableGenerations()
+		if v.opts.NurserySize == 0 {
+			v.opts.NurserySize = opts.HeapLimit / 8
+		}
+	}
+	v.ctrl = core.NewController(classes, ctrlOpts)
+	return v
+}
+
+// DefineClass registers a class with default shape and returns its ID.
+func (v *VM) DefineClass(name string, refSlots, scalarBytes int) heap.ClassID {
+	return v.classes.Define(name, refSlots, scalarBytes)
+}
+
+// Classes exposes the class registry.
+func (v *VM) Classes() *heap.Registry { return v.classes }
+
+// HeapStats returns the heap accounting snapshot.
+func (v *VM) HeapStats() heap.Stats { return v.heap.Stats() }
+
+// HeapLimit returns the configured maximum heap size.
+func (v *VM) HeapLimit() uint64 { return v.opts.HeapLimit }
+
+// State returns the pruning controller's current state.
+func (v *VM) State() core.State { return v.ctrl.State() }
+
+// EdgeTable exposes the pruning controller's edge table for reports.
+func (v *VM) EdgeTable() *edgetable.Table { return v.ctrl.Edges() }
+
+// PruneEvents returns the controller's prune log.
+func (v *VM) PruneEvents() []core.PruneEvent {
+	v.world.Lock()
+	defer v.world.Unlock()
+	return append([]core.PruneEvent(nil), v.ctrl.Events()...)
+}
+
+// Stats returns VM counters.
+func (v *VM) Stats() Stats {
+	v.world.RLock()
+	pruned := v.ctrl.TotalPrunedRefs()
+	idx := v.collector.Index()
+	v.world.RUnlock()
+	return Stats{
+		Collections:   idx,
+		MinorGCs:      v.collector.MinorIndex(),
+		MinorGCTime:   time.Duration(v.minorTime.Load()),
+		MinorFrees:    v.minorFrees.Load(),
+		GCTime:        time.Duration(v.gcTimeNanos.Load()),
+		Loads:         v.loads.Load(),
+		BarrierHits:   v.barrierHits.Load(),
+		PoisonTraps:   v.poisonTraps.Load(),
+		Allocations:   v.allocs.Load(),
+		PrunedRefs:    pruned,
+		FinalizersRun: v.finalizersN.Load(),
+	}
+}
+
+// AddGlobal adds a global (static) root slot and returns its index.
+func (v *VM) AddGlobal() int {
+	v.world.RLock()
+	defer v.world.RUnlock()
+	v.globalMu.Lock()
+	defer v.globalMu.Unlock()
+	v.globals = append(v.globals, 0)
+	return len(v.globals) - 1
+}
+
+// SetFinalizer registers fn to run when the object behind r is collected —
+// whether by regular collection or because leak pruning reclaimed it. Our
+// implementation keeps calling finalizers after pruning starts, the
+// paper's default choice (§2). fn runs during the collection and must not
+// touch the VM.
+func (v *VM) SetFinalizer(r heap.Ref, fn func(FinalizerInfo)) {
+	if r.IsNull() {
+		panic("vm: SetFinalizer on null reference")
+	}
+	v.world.RLock()
+	defer v.world.RUnlock()
+	v.finalMu.Lock()
+	defer v.finalMu.Unlock()
+	if fn == nil {
+		delete(v.finalizers, r.ID())
+	} else {
+		v.finalizers[r.ID()] = fn
+	}
+}
+
+// Collect forces one full-heap collection (stop-the-world).
+func (v *VM) Collect() gc.Result {
+	v.world.Lock()
+	defer v.world.Unlock()
+	return v.collectLocked()
+}
+
+// rootVisitor adapts the VM's threads and globals to gc.RootVisitor.
+type rootVisitor VM
+
+// VisitRoots walks every thread frame slot and every global.
+func (rv *rootVisitor) VisitRoots(fn func(heap.Ref)) {
+	v := (*VM)(rv)
+	v.threadMu.Lock()
+	threads := make([]*Thread, 0, len(v.threads))
+	for t := range v.threads {
+		threads = append(threads, t)
+	}
+	v.threadMu.Unlock()
+	for _, t := range threads {
+		t.visitRoots(fn)
+	}
+	v.globalMu.Lock()
+	for i := range v.globals {
+		fn(heap.Ref(atomic.LoadUint64(&v.globals[i])))
+	}
+	v.globalMu.Unlock()
+}
+
+// softTrigger computes the next collection threshold from the live bytes
+// after a collection: a quarter of the remaining headroom (at least 1/32 of
+// the heap), so collections ramp up in frequency as the heap fills — the
+// paper's "allocations trigger more and more collections as memory fills
+// the heap" (§3.1).
+func softTrigger(live, limit uint64) uint64 {
+	step := (limit - live) / 4
+	if min := limit / 32; step < min {
+		step = min
+	}
+	t := live + step
+	if t > limit {
+		t = limit
+	}
+	return t
+}
+
+// maybeCollect runs a collection if used bytes crossed the soft trigger.
+func (v *VM) maybeCollect() {
+	v.world.Lock()
+	defer v.world.Unlock()
+	if v.heap.BytesUsed() > v.gcTrigger.Load() {
+		v.collectLocked()
+	}
+}
+
+// rememberStore is the generational write barrier's slow path: record an
+// old object that now holds a young reference, once per cycle.
+func (v *VM) rememberStore(src *heap.Object, id heap.ObjectID) {
+	if src.TryLog() {
+		v.remMu.Lock()
+		v.remset = append(v.remset, id)
+		v.remMu.Unlock()
+	}
+}
+
+// drainRemset consumes the remembered set (after any collection).
+func (v *VM) drainRemset() {
+	v.remMu.Lock()
+	set := v.remset
+	v.remset = nil
+	v.remMu.Unlock()
+	for _, id := range set {
+		if obj, ok := v.heap.Lookup(id); ok {
+			obj.Unlog()
+		}
+	}
+}
+
+// nurseryFull reports whether enough allocation has happened since the last
+// collection to warrant a minor collection.
+func (v *VM) nurseryFull() bool {
+	if !v.opts.Generational {
+		return false
+	}
+	return v.heap.Stats().BytesAlloc-v.allocAtLastGC.Load() > v.opts.NurserySize
+}
+
+// maybeMinorCollect runs a nursery collection if the nursery is full.
+func (v *VM) maybeMinorCollect() {
+	v.world.Lock()
+	defer v.world.Unlock()
+	if !v.nurseryFull() {
+		return
+	}
+	v.remMu.Lock()
+	set := append([]heap.ObjectID(nil), v.remset...)
+	v.remMu.Unlock()
+	res := v.collector.CollectMinor(set, v.runFinalizer)
+	v.logMinorGC(res)
+	v.minorTime.Add(int64(res.Duration))
+	v.minorFrees.Add(res.ObjectsFreed)
+	v.drainRemset()
+	v.allocAtLastGC.Store(v.heap.Stats().BytesAlloc)
+}
+
+// collectLocked runs one collection cycle. Caller holds the world lock.
+func (v *VM) collectLocked() gc.Result {
+	plan := v.ctrl.PlanCycle()
+	// Stale counters measure program time, not collector invocations: a
+	// collection that ran with no allocation since the previous one (a
+	// back-to-back cycle inside the allocation slow path) conveys no new
+	// information about the program, so it does not age the counters.
+	// Without this, exhaustion-time collection bursts would age even
+	// constantly-used objects into pruning candidacy.
+	allocNow := v.heap.Stats().BytesAlloc
+	if plan.AgeStaleness && allocNow == v.lastGCAlloc {
+		plan.AgeStaleness = false
+	}
+	v.lastGCAlloc = allocNow
+	plan.OnFree = v.runFinalizer
+	if plan.Mode == gc.ModePrune {
+		// Record each poisoned slot's target class so a later trap can
+		// name the pruned edge type precisely.
+		prev := plan.OnPrune
+		plan.OnPrune = func(srcID heap.ObjectID, slot int, src, tgt heap.ClassID) {
+			v.recordPrunedEdge(srcID, slot, tgt)
+			if prev != nil {
+				prev(srcID, slot, src, tgt)
+			}
+		}
+	}
+	res := v.collector.Collect(plan)
+	var offloaded uint64
+	if v.offloader != nil {
+		offloaded = v.offloader.AfterGC(v.heap)
+	}
+	v.lastOffloaded = offloaded
+	v.logFullGC(res, offloaded)
+	v.gcTimeNanos.Add(int64(res.Duration))
+	v.drainRemset() // a full collection subsumes the remembered set
+	hs := v.heap.Stats()
+	v.allocAtLastGC.Store(hs.BytesAlloc)
+	v.gcTrigger.Store(softTrigger(hs.BytesUsed, hs.Limit))
+	v.ctrl.FinishCycle(res, hs)
+	if v.opts.EnableBarriers && !v.barriersActive.Load() && v.ctrl.Observing() {
+		// The "recompilation" moment: from now on every load runs the
+		// barrier test. OBSERVE is permanent, so this never reverts.
+		v.barriersActive.Store(true)
+	}
+	if v.opts.OnGC != nil {
+		v.opts.OnGC(Event{Result: res, Heap: hs, State: v.ctrl.State()})
+	}
+	return res
+}
+
+// logFullGC writes one verbose-GC line for a full-heap collection.
+func (v *VM) logFullGC(res gc.Result, offloaded uint64) {
+	if v.opts.GCLog == nil {
+		return
+	}
+	hs := v.heap.Stats()
+	fmt.Fprintf(v.opts.GCLog,
+		"[gc %d %s] live %s/%s (%.0f%%) freed %s in %v; state %s",
+		res.Index, res.Mode, fmtBytes(hs.BytesUsed), fmtBytes(hs.Limit),
+		hs.Fullness()*100, fmtBytes(res.BytesFreed), res.Duration.Round(time.Microsecond),
+		v.ctrl.State())
+	if res.Mode == gc.ModeSelect {
+		fmt.Fprintf(v.opts.GCLog, "; candidates %d (%s stale)", res.Candidates, fmtBytes(res.StaleBytes))
+	}
+	if res.Mode == gc.ModePrune {
+		fmt.Fprintf(v.opts.GCLog, "; pruned %d refs", res.PrunedRefs)
+	}
+	if offloaded > 0 {
+		fmt.Fprintf(v.opts.GCLog, "; offloaded %s (disk %s/%s)",
+			fmtBytes(offloaded), fmtBytes(v.heap.Disk().BytesUsed), fmtBytes(v.heap.Disk().Limit))
+	}
+	fmt.Fprintln(v.opts.GCLog)
+}
+
+// logMinorGC writes one verbose-GC line for a nursery collection.
+func (v *VM) logMinorGC(res gc.MinorResult) {
+	if v.opts.GCLog == nil {
+		return
+	}
+	fmt.Fprintf(v.opts.GCLog,
+		"[gc minor %d] nursery %d scanned, %d promoted, freed %s in %v (remset %d)\n",
+		res.Index, res.YoungScanned, res.Promoted, fmtBytes(res.BytesFreed),
+		res.Duration.Round(time.Microsecond), res.RemsetEntries)
+}
+
+// fmtBytes renders byte counts with a binary-unit suffix.
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+func (v *VM) runFinalizer(id heap.ObjectID, class heap.ClassID, size uint64) {
+	v.finalMu.Lock()
+	fn, ok := v.finalizers[id]
+	if ok {
+		delete(v.finalizers, id)
+	}
+	v.finalMu.Unlock()
+	if ok {
+		v.finalizersN.Add(1)
+		fn(FinalizerInfo{Class: v.classes.Name(class), Size: size})
+	}
+}
+
+// maxFruitlessCycles is how many consecutive no-progress collections the
+// allocation slow path tolerates before treating memory as exhausted. A
+// collection makes progress when it frees bytes, poisons references, or
+// advances the pruning state machine; a few fruitless SELECT cycles must be
+// tolerated because objects need time (collections) to become stale (§2).
+const maxFruitlessCycles = 4
+
+// absoluteGCBound is a backstop against a pathological select/prune
+// livelock; real programs either make progress or go fruitless quickly.
+const absoluteGCBound = 64
+
+// allocSlow is the allocation slow path: collect (possibly several times,
+// letting the pruning state machine advance through SELECT and PRUNE) and
+// retry; when no further collection can help, record and throw the
+// out-of-memory error (§2, §3.1).
+func (v *VM) allocSlow(t *Thread, class heap.ClassID, opts []heap.AllocOption, size uint64) heap.Ref {
+	v.world.Lock()
+	defer v.world.Unlock()
+
+	fruitless := 0
+	prevState := v.ctrl.State()
+	for i := 0; i < absoluteGCBound; i++ {
+		if ref, err := v.heap.Allocate(class, opts...); err == nil {
+			return t.root(ref)
+		}
+		res := v.collectLocked()
+		if ref, err := v.heap.Allocate(class, opts...); err == nil {
+			return t.root(ref)
+		}
+		progressed := res.BytesFreed > 0 || res.PrunedRefs > 0 || v.lastOffloaded > 0 || v.ctrl.State() != prevState
+		prevState = v.ctrl.State()
+		if progressed {
+			fruitless = 0
+		} else {
+			fruitless++
+		}
+		if fruitless >= maxFruitlessCycles {
+			// The program has exhausted memory. Record the deferred OOM;
+			// the controller returns true when exhaustion itself unlocks a
+			// prune (a pending selection under FullHeapOnly, §3.1 option 1).
+			if v.ctrl.NotifyExhaustion(v.heap.Stats(), size, v.collector.Index()) {
+				fruitless = 0
+				continue
+			}
+			break
+		}
+		if v.ctrl.WillPruneNext() || v.ctrl.InSelect() {
+			continue // the state machine is still advancing toward a prune
+		}
+		if v.ctrl.NotifyExhaustion(v.heap.Stats(), size, v.collector.Index()) {
+			continue
+		}
+		break
+	}
+	oom := v.ctrl.MakeOOM(v.heap.Stats(), size, v.collector.Index())
+	vmerrors.Throw(oom)
+	panic("unreachable")
+}
+
+// recordPrunedEdge remembers the target class of a poisoned slot.
+func (v *VM) recordPrunedEdge(src heap.ObjectID, slot int, tgt heap.ClassID) {
+	v.prunedMu.Lock()
+	if len(v.prunedEdges) < maxPrunedEdgeRecords {
+		v.prunedEdges[prunedEdgeKey{src, slot}] = tgt
+	}
+	v.prunedMu.Unlock()
+}
+
+func (v *VM) prunedEdgeClass(src heap.ObjectID, slot int) (heap.ClassID, bool) {
+	v.prunedMu.Lock()
+	defer v.prunedMu.Unlock()
+	c, ok := v.prunedEdges[prunedEdgeKey{src, slot}]
+	return c, ok
+}
+
+// throwPoisonTrap raises the InternalError for an access to a poisoned
+// reference, with the averted OutOfMemoryError as its cause (§4.4).
+func (v *VM) throwPoisonTrap(srcClass heap.ClassID, srcID heap.ObjectID, slot int) {
+	v.poisonTraps.Add(1)
+	tgtName := "<pruned>"
+	if tgt, ok := v.prunedEdgeClass(srcID, slot); ok {
+		tgtName = v.classes.Name(tgt)
+	}
+	err := &vmerrors.InternalError{
+		Cause:       v.ctrl.AvertedOOM(),
+		SourceClass: v.classes.Name(srcClass),
+		TargetClass: tgtName,
+	}
+	vmerrors.Throw(err)
+}
+
+// Disk returns the simulated-disk accounting (zero unless the offload
+// baseline is enabled).
+func (v *VM) Disk() heap.DiskStats { return v.heap.Disk() }
+
+// OffloadStats returns the offload controller's counters (zero value unless
+// the baseline is enabled).
+func (v *VM) OffloadStats() offload.Stats {
+	if v.offloader == nil {
+		return offload.Stats{}
+	}
+	v.world.RLock()
+	defer v.world.RUnlock()
+	return v.offloader.Stats()
+}
+
+// faultIn brings an offloaded object back into the heap, collecting (and
+// offloading other stale objects) to make room if needed. The caller must
+// NOT hold the world lock. Throws OutOfMemoryError when no room can be
+// made.
+func (v *VM) faultIn(id heap.ObjectID) {
+	if err := v.heap.FaultIn(id); err == nil {
+		v.world.RLock()
+		if obj, ok := v.heap.Lookup(id); ok {
+			v.offloader.RecordFault(obj.Size())
+		}
+		v.world.RUnlock()
+		return
+	}
+	v.world.Lock()
+	defer v.world.Unlock()
+	fruitless := 0
+	for i := 0; i < absoluteGCBound; i++ {
+		if err := v.heap.FaultIn(id); err == nil {
+			if obj, ok := v.heap.Lookup(id); ok {
+				v.offloader.RecordFault(obj.Size())
+			}
+			return
+		}
+		res := v.collectLocked()
+		if res.BytesFreed > 0 || v.lastOffloaded > 0 {
+			fruitless = 0
+		} else {
+			fruitless++
+		}
+		if fruitless >= maxFruitlessCycles {
+			break
+		}
+	}
+	obj, _ := v.heap.Lookup(id)
+	size := uint64(0)
+	if obj != nil {
+		size = obj.Size()
+	}
+	oom := v.ctrl.MakeOOM(v.heap.Stats(), size, v.collector.Index())
+	vmerrors.Throw(oom)
+}
+
+// String summarizes the VM configuration.
+func (v *VM) String() string {
+	policy := "off"
+	if v.opts.Policy != nil {
+		policy = v.opts.Policy.Name()
+	}
+	if v.offloader != nil {
+		policy = fmt.Sprintf("offload(disk=%dMB)", v.opts.OffloadDisk>>20)
+	}
+	return fmt.Sprintf("vm(heap=%dMB, pruning=%s, barriers=%v/%v, gcWorkers=%d)",
+		v.opts.HeapLimit>>20, policy, v.opts.EnableBarriers, v.opts.Barrier, v.collector.Workers())
+}
+
+// ClassUsage is one row of a heap composition histogram.
+type ClassUsage struct {
+	Class   string
+	Objects uint64
+	Bytes   uint64
+}
+
+// HeapHistogram returns the live-heap composition by class, largest first —
+// the raw material for the paper's §3.2 diagnostic reports. It stops the
+// world for the duration of the scan.
+func (v *VM) HeapHistogram() []ClassUsage {
+	v.world.Lock()
+	defer v.world.Unlock()
+	type agg struct {
+		objects, bytes uint64
+	}
+	byClass := map[heap.ClassID]*agg{}
+	v.heap.ForEach(func(id heap.ObjectID, obj *heap.Object) {
+		a := byClass[obj.Class()]
+		if a == nil {
+			a = &agg{}
+			byClass[obj.Class()] = a
+		}
+		a.objects++
+		a.bytes += obj.Size()
+	})
+	out := make([]ClassUsage, 0, len(byClass))
+	for cls, a := range byClass {
+		out = append(out, ClassUsage{Class: v.classes.Name(cls), Objects: a.objects, Bytes: a.bytes})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out
+}

@@ -1,0 +1,115 @@
+// Package vmerrors defines the error types the simulated runtime raises:
+// the OutOfMemoryError a program sees when the heap is exhausted, and the
+// InternalError raised when a program touches a reference that leak pruning
+// poisoned. It also implements the typed-trap mechanism used to propagate
+// these asynchronous errors out of mutator code and recover them at the VM
+// API boundary.
+package vmerrors
+
+import (
+	"errors"
+	"fmt"
+)
+
+// OutOfMemoryError reports heap exhaustion. With leak pruning enabled, the
+// first exhaustion is recorded and deferred rather than thrown (§2): the
+// recorded instance becomes the Cause of any later InternalError.
+type OutOfMemoryError struct {
+	// HeapLimit is the maximum heap size in simulated bytes.
+	HeapLimit uint64
+	// BytesUsed is the reachable-byte count when memory was exhausted.
+	BytesUsed uint64
+	// Request is the allocation size that could not be satisfied.
+	Request uint64
+	// GCIndex is the full-heap collection count at exhaustion.
+	GCIndex uint64
+	// Effective marks an exhaustion recorded when pruning first engaged at
+	// the nearly-full threshold (option 2 treats that threshold as the
+	// effective maximum heap, §3.1) rather than at a failed allocation.
+	Effective bool
+}
+
+func (e *OutOfMemoryError) Error() string {
+	if e.Effective {
+		return fmt.Sprintf("OutOfMemoryError: heap effectively exhausted at GC %d (pruning engaged at the nearly-full threshold; %d/%d bytes live after the first prune)",
+			e.GCIndex, e.BytesUsed, e.HeapLimit)
+	}
+	return fmt.Sprintf("OutOfMemoryError: heap exhausted at GC %d (%d/%d bytes used, %d requested)",
+		e.GCIndex, e.BytesUsed, e.HeapLimit, e.Request)
+}
+
+// InternalError reports an access to a poisoned (pruned) reference. Its
+// cause is the OutOfMemoryError that would have been thrown when the program
+// first exhausted memory, matching the paper's use of getCause() (§3.2).
+type InternalError struct {
+	// Cause is the averted OutOfMemoryError.
+	Cause *OutOfMemoryError
+	// SourceClass and TargetClass name the pruned reference's edge type.
+	SourceClass, TargetClass string
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("InternalError: access to pruned reference %s -> %s (cause: %v)",
+		e.SourceClass, e.TargetClass, e.Cause)
+}
+
+// Unwrap exposes the averted OutOfMemoryError to errors.Is/As.
+func (e *InternalError) Unwrap() error {
+	if e.Cause == nil {
+		return nil
+	}
+	return e.Cause
+}
+
+// trap wraps a VM error for propagation by panic. The Java VM specification
+// permits InternalError to be thrown asynchronously at any program point
+// (§2); mutator code in this runtime is ordinary Go code, so the analogue is
+// a typed panic that the VM recovers at its API boundary (vm.VM.RunThread)
+// and converts back into an error. Only *trap panics are recovered; all
+// other panics propagate, so runtime bugs still crash loudly.
+type trap struct{ err error }
+
+// Throw raises err as a VM trap. It never returns.
+func Throw(err error) {
+	if err == nil {
+		panic("vmerrors: Throw(nil)")
+	}
+	panic(&trap{err: err})
+}
+
+// Recover converts a recovered panic value back into the thrown VM error.
+// It returns (nil, false) for a nil value and re-panics on foreign panics.
+// Use it only inside a deferred function:
+//
+//	defer func() { err = vmerrors.Handle(recover(), err) }()
+func Recover(v any) (error, bool) {
+	if v == nil {
+		return nil, false
+	}
+	if t, ok := v.(*trap); ok {
+		return t.err, true
+	}
+	panic(v)
+}
+
+// Handle is the deferred-function helper: given recover()'s value and the
+// current error result, it returns the VM error if one was trapped,
+// otherwise the existing error. Foreign panics propagate.
+func Handle(v any, cur error) error {
+	if err, ok := Recover(v); ok {
+		return err
+	}
+	return cur
+}
+
+// IsOOM reports whether err is or wraps an OutOfMemoryError.
+func IsOOM(err error) bool {
+	var oom *OutOfMemoryError
+	return errors.As(err, &oom)
+}
+
+// IsInternal reports whether err is or wraps an InternalError.
+func IsInternal(err error) bool {
+	var ie *InternalError
+	return errors.As(err, &ie)
+}

@@ -1,0 +1,99 @@
+package vmerrors
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestOOMErrorMessage(t *testing.T) {
+	oom := &OutOfMemoryError{HeapLimit: 1000, BytesUsed: 990, Request: 64, GCIndex: 7}
+	msg := oom.Error()
+	for _, want := range []string{"OutOfMemoryError", "990/1000", "64", "GC 7"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("message %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestInternalErrorUnwrapsToCause(t *testing.T) {
+	oom := &OutOfMemoryError{HeapLimit: 1}
+	ie := &InternalError{Cause: oom, SourceClass: "A", TargetClass: "B"}
+	if !errors.Is(ie, error(oom)) {
+		t.Fatal("InternalError must unwrap to its averted OOM (getCause)")
+	}
+	var got *OutOfMemoryError
+	if !errors.As(ie, &got) || got != oom {
+		t.Fatal("errors.As must recover the cause")
+	}
+	if !strings.Contains(ie.Error(), "A -> B") {
+		t.Fatalf("message %q missing edge type", ie.Error())
+	}
+	if (&InternalError{}).Unwrap() != nil {
+		t.Fatal("nil cause must unwrap to nil")
+	}
+}
+
+func TestThrowHandleRoundTrip(t *testing.T) {
+	oom := &OutOfMemoryError{}
+	err := func() (err error) {
+		defer func() { err = Handle(recover(), err) }()
+		Throw(oom)
+		return nil
+	}()
+	if err != error(oom) {
+		t.Fatalf("Handle returned %v", err)
+	}
+}
+
+func TestHandlePreservesExistingError(t *testing.T) {
+	sentinel := errors.New("existing")
+	if got := Handle(nil, sentinel); got != sentinel {
+		t.Fatalf("Handle(nil, err) = %v", got)
+	}
+}
+
+func TestForeignPanicPropagates(t *testing.T) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("foreign panic swallowed")
+		}
+		if v != "boom" {
+			t.Fatalf("panic value = %v", v)
+		}
+	}()
+	func() {
+		defer func() { _ = Handle(recover(), nil) }()
+		panic("boom")
+	}()
+}
+
+func TestThrowNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Throw(nil) must panic")
+		}
+	}()
+	Throw(nil)
+}
+
+func TestClassifiers(t *testing.T) {
+	oom := &OutOfMemoryError{}
+	ie := &InternalError{Cause: oom}
+	if !IsOOM(oom) || !IsInternal(ie) {
+		t.Fatal("direct classification failed")
+	}
+	// An InternalError wraps an OOM, so it is *also* an OOM by unwrapping —
+	// which matches the semantics: the access failed because memory was
+	// exhausted earlier.
+	if !IsOOM(ie) {
+		t.Fatal("InternalError must report its OOM cause")
+	}
+	if IsInternal(oom) {
+		t.Fatal("a plain OOM is not an InternalError")
+	}
+	if IsOOM(errors.New("x")) || IsInternal(nil) {
+		t.Fatal("foreign errors misclassified")
+	}
+}

@@ -1,0 +1,269 @@
+package workload_test
+
+import (
+	"strings"
+	"testing"
+
+	"leakpruning/internal/harness"
+)
+
+// These tests pin down the *mechanisms* §6 of the paper describes for each
+// leak — not just how long the programs survive, but which edge types leak
+// pruning selects and which live structures the maxStaleUse machinery
+// protects. They are integration tests over the whole stack.
+
+func runFor(t *testing.T, program, policy string, maxIters int) harness.Result {
+	t.Helper()
+	res, err := harness.Run(harness.Config{Program: program, Policy: policy, MaxIters: maxIters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// prunedSelections gathers the distinct selection descriptions of a run.
+func prunedSelections(res harness.Result) map[string]int {
+	out := map[string]int{}
+	for _, ev := range res.Prunes {
+		// Selections render as "Src -> Tgt (N bytes)"; strip the size.
+		desc := ev.Selection
+		if i := strings.Index(desc, " ("); i > 0 {
+			desc = desc[:i]
+		}
+		out[desc] += ev.PrunedRefs
+	}
+	return out
+}
+
+func TestEclipseDiffPrunesDiffResults(t *testing.T) {
+	res := runFor(t, "eclipsediff", "default", 2000)
+	if !res.Capped() {
+		t.Fatalf("eclipsediff died: %s (%v)", res.Reason, res.Err)
+	}
+	sels := prunedSelections(res)
+	// §6: "Leak pruning correctly selects and prunes several edge types
+	// with source type ResourceCompareInput."
+	fromInput := 0
+	for desc, refs := range sels {
+		if strings.HasPrefix(desc, "ResourceCompareInput ->") {
+			fromInput += refs
+		}
+		// The live NavigationHistory must never be pruned.
+		if strings.HasPrefix(desc, "NavigationHistoryEntry -> NavigationHistoryEntry") && refs > 0 {
+			t.Fatalf("pruned the live navigation history: %v", sels)
+		}
+	}
+	if fromInput == 0 {
+		t.Fatalf("no ResourceCompareInput edges pruned; selections: %v", sels)
+	}
+}
+
+func TestEclipseCPPrunesUndoText(t *testing.T) {
+	res := runFor(t, "eclipsecp", "default", 400)
+	sels := prunedSelections(res)
+	// §6: "leak pruning repeatedly prunes the reference types
+	// DefaultUndoManager$TextCommand -> String and DocumentEvent -> String".
+	if sels["DefaultUndoManager$TextCommand -> String"] == 0 {
+		t.Fatalf("TextCommand -> String never pruned; selections: %v", sels)
+	}
+	if sels["DocumentEvent -> String"] == 0 {
+		t.Fatalf("DocumentEvent -> String never pruned; selections: %v", sels)
+	}
+}
+
+func TestEclipseCPIndivRefsMispredictsLiveReferences(t *testing.T) {
+	// §6.1: without the stale closure, the individual-references baseline
+	// "selects and prunes highly stale, but live" references and the
+	// program terminates quickly (paper: 41 vs. 971 iterations). In our
+	// analogue the first live victim is the rarely-visited plugin registry
+	// (the shared String class acquires maxStaleUse protection before the
+	// big char arrays ripen), but the failure mode is the same: an early
+	// pruned-access death that the default algorithm avoids.
+	res := runFor(t, "eclipsecp", "indiv-refs", 400)
+	if res.Reason != harness.EndPoisonTrap {
+		t.Fatalf("indiv-refs should die of a pruned access, got %s (%v)", res.Reason, res.Err)
+	}
+	def := runFor(t, "eclipsecp", "default", 400)
+	if def.Iterations <= res.Iterations*4 {
+		t.Fatalf("default (%d) should far outlive indiv-refs (%d)", def.Iterations, res.Iterations)
+	}
+}
+
+func TestMySQLPrunesStatementData(t *testing.T) {
+	res := runFor(t, "mysql", "default", 1200)
+	sels := prunedSelections(res)
+	// §6: "It correctly selects and prunes several types of references
+	// pointing from statement objects."
+	fromStatement := 0
+	for desc, refs := range sels {
+		if strings.HasPrefix(desc, "Statement ->") {
+			fromStatement += refs
+		}
+		if strings.HasPrefix(desc, "TableEntry -> Statement") && refs > 0 {
+			t.Fatalf("pruned the live statements themselves: %v", sels)
+		}
+	}
+	if fromStatement == 0 {
+		t.Fatalf("no Statement-> edges pruned; selections: %v", sels)
+	}
+}
+
+func TestJbbModMaxStaleUseProtectsPhasedSpine(t *testing.T) {
+	res := runFor(t, "jbbmod", "default", 4000)
+	sels := prunedSelections(res)
+	// §6: "Leak pruning does not prune references from Object[] to Order
+	// because this reference type's maxstaleuse value is high."
+	if sels["ObjectArray -> JbbOrder"] > 0 {
+		t.Fatalf("phased Object[] -> Order references were pruned: %v", sels)
+	}
+	// The bulk under the orders is pruned.
+	if sels["JbbOrder -> JbbOrderLine"] == 0 {
+		t.Fatalf("order-line subtrees never pruned; selections: %v", sels)
+	}
+}
+
+func TestMckoiReclaimsThreadReferencedDeadMemory(t *testing.T) {
+	res := runFor(t, "mckoi", "default", 4000)
+	if res.Reason != harness.EndOOM {
+		t.Fatalf("mckoi should eventually exhaust memory, got %s", res.Reason)
+	}
+	sels := prunedSelections(res)
+	// §6: "Leak pruning runs Mckoi longer by selecting and pruning dead
+	// memory referenced by the leaked threads' stacks" — the stack-pinned
+	// ConnectionState is unreclaimable, its WorkBuffer is not.
+	if sels["ConnectionState -> WorkBuffer"] == 0 {
+		t.Fatalf("thread-referenced dead buffers never pruned; selections: %v", sels)
+	}
+}
+
+func TestSpecJBBPrunesManySmallTypes(t *testing.T) {
+	res := runFor(t, "specjbb", "default", 3000)
+	sels := prunedSelections(res)
+	// §6: "Leak pruning prunes 82 distinct edge types... sometimes netting
+	// fewer than 100 bytes." The dominant reclaim is the dead order detail;
+	// a tail of small, distinct edge types follows near the end of the run.
+	if len(sels) < 4 {
+		t.Fatalf("expected a tail of distinct pruned edge types, got %d: %v", len(sels), sels)
+	}
+	total, details := 0, 0
+	for desc, refs := range sels {
+		total += refs
+		if desc == "Order -> OrderDetail" {
+			details = refs
+		}
+	}
+	if details*100 < total*90 {
+		t.Fatalf("Order -> OrderDetail should dominate (got %d of %d)", details, total)
+	}
+}
+
+func TestDualLeakNothingReclaimed(t *testing.T) {
+	res := runFor(t, "dualleak", "default", 3000)
+	// §6 Table 1: "No help — None reclaimed."
+	var pruned int
+	for _, ev := range res.Prunes {
+		pruned += ev.PrunedRefs
+	}
+	if pruned > 0 {
+		t.Fatalf("dualleak is live growth; %d refs were pruned", pruned)
+	}
+	if res.Reason != harness.EndOOM {
+		t.Fatalf("dualleak should die of OOM, got %s (%v)", res.Reason, res.Err)
+	}
+}
+
+func TestDelaunayNeverObservesLongEnough(t *testing.T) {
+	res := runFor(t, "delaunay", "default", 3000)
+	if res.Reason != harness.EndCompleted {
+		t.Fatalf("delaunay should complete, got %s", res.Reason)
+	}
+	if len(res.Prunes) != 0 {
+		t.Fatalf("delaunay was pruned %d times; the paper: no time to observe", len(res.Prunes))
+	}
+}
+
+func TestSwapLeakMostStaleDiesDefaultSurvives(t *testing.T) {
+	// §6.1/Table 2: the most-stale baseline cannot tolerate SwapLeak
+	// indefinitely (the paper measured 1,026 iterations against the
+	// default's 5.9M). Ours dies finitely — either by out-of-memory (it
+	// only prunes the very stalest level, leaving mid-staleness dead
+	// growth to accumulate) or by trapping on the rarely-used session.
+	res := runFor(t, "swapleak", "most-stale", 20000)
+	if res.Capped() {
+		t.Fatalf("most-stale on swapleak should die, got %s at %d iterations", res.Reason, res.Iterations)
+	}
+	// The default policy runs to the cap.
+	def := runFor(t, "swapleak", "default", 3000)
+	if !def.Capped() {
+		t.Fatalf("default on swapleak died: %s", def.Reason)
+	}
+}
+
+func TestListLeakPrunesOnlyNodeChain(t *testing.T) {
+	res := runFor(t, "listleak", "default", 3000)
+	if !res.Capped() {
+		t.Fatalf("listleak died under default: %s", res.Reason)
+	}
+	sels := prunedSelections(res)
+	for desc := range sels {
+		if !strings.HasPrefix(desc, "ListNode ->") {
+			t.Fatalf("unexpected pruned edge type %q; selections: %v", desc, sels)
+		}
+	}
+}
+
+// TestGenerationalMatrix: the Table 1 outcomes are insensitive to turning
+// on the generational substrate — pruning still saves the dead leaks and
+// still cannot save the live one.
+func TestGenerationalMatrix(t *testing.T) {
+	for _, tc := range []struct {
+		program string
+		capped  bool
+	}{
+		{"listleak", true},
+		{"eclipsediff", true},
+		{"dualleak", false},
+	} {
+		res, err := harness.Run(harness.Config{
+			Program: tc.program, Policy: "default", MaxIters: 1500, Generational: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.VMStats.MinorGCs == 0 {
+			t.Errorf("%s: no minor collections under generational mode", tc.program)
+		}
+		if res.Capped() != tc.capped {
+			t.Errorf("%s under generational pruning: got %s at %d iterations, capped=%v want %v",
+				tc.program, res.Reason, res.Iterations, res.Capped(), tc.capped)
+		}
+	}
+}
+
+// TestMeltMatrix: the offload baseline extends dead leaks by about the
+// disk/heap ratio and ends with the disk exhausted.
+func TestMeltMatrix(t *testing.T) {
+	base, err := harness.Run(harness.Config{Program: "listleak", Policy: "off", MaxIters: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	melt, err := harness.Run(harness.Config{Program: "listleak", Policy: "melt", MaxIters: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if melt.Reason != harness.EndOOM {
+		t.Fatalf("melt run ended %s, want out-of-memory", melt.Reason)
+	}
+	if !melt.DiskExhausted() {
+		t.Fatal("melt run should end with the disk budget exhausted")
+	}
+	ratio := melt.Ratio(base)
+	// Disk = 4x heap, so the extension factor is ~5x (the paper: disk
+	// approaches scale with disk size, then crash).
+	if ratio < 3.5 || ratio > 6.5 {
+		t.Fatalf("melt extension ratio %.1f outside the expected ~5x band", ratio)
+	}
+	if melt.Offload.ObjectsMoved == 0 || melt.Disk.BytesUsed == 0 {
+		t.Fatalf("offload stats empty: %+v / %+v", melt.Offload, melt.Disk)
+	}
+}

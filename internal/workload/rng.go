@@ -1,0 +1,28 @@
+package workload
+
+// rng is a tiny deterministic xorshift64* generator so workloads behave
+// identically run to run without importing math/rand (whose global seeding
+// would couple programs to each other).
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("rng: intn with n <= 0")
+	}
+	return int(r.next() % uint64(n))
+}

@@ -1,0 +1,95 @@
+// Package workload contains Go analogues of every program in the paper's
+// evaluation (§5–6): the ten leaking programs of Table 1, the manually
+// fixed EclipseDiff variant from Figure 1, and a suite of non-leaking
+// microbenchmarks standing in for DaCapo/SPECjvm98/pseudojbb in the
+// overhead experiments (Figures 6–7).
+//
+// Each program allocates the same heap *shapes* and performs the same
+// access *patterns* as its original: which data structures grow, which
+// parts of them the program keeps touching (live) versus abandons (dead),
+// and on what schedule rarely-used-but-live structures are revisited. Those
+// three properties fully determine leak pruning's behaviour, so the
+// analogues reproduce the paper's per-program outcomes without the original
+// Java code.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"leakpruning/internal/heap"
+	"leakpruning/internal/vm"
+)
+
+// Program is one benchmark program run by the harness.
+type Program interface {
+	// Name is the identifier used by cmd/leakbench (e.g. "eclipsediff").
+	Name() string
+	// Description summarizes the program and its leak in one line.
+	Description() string
+	// DefaultHeap is the simulated heap limit the paper's methodology
+	// prescribes: about twice the memory the program needs when it does
+	// not leak (§6).
+	DefaultHeap() uint64
+	// Setup defines classes and builds initial structures.
+	Setup(t *vm.Thread)
+	// Iterate performs one iteration of program work (the paper's unit of
+	// progress) and reports whether the program finished naturally — only
+	// short-running programs like Delaunay ever return true.
+	Iterate(t *vm.Thread, iter int) bool
+}
+
+// Factory creates a fresh Program instance (programs are stateful and
+// single-use).
+type Factory func() Program
+
+var registry = map[string]Factory{}
+var leakNames []string
+
+// register adds a program factory under its name; leak marks it as one of
+// the Table 1 leaks (in paper order).
+func register(name string, leak bool, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("workload: duplicate program %q", name))
+	}
+	registry[name] = f
+	if leak {
+		leakNames = append(leakNames, name)
+	}
+}
+
+// New creates the named program.
+func New(name string) (Program, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown program %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists every registered program.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LeakNames lists the Table 1 leak programs in the paper's order.
+func LeakNames() []string { return append([]string(nil), leakNames...) }
+
+// churn allocates n short-lived objects of the given class and drops them,
+// modelling the transient allocation every managed program performs
+// (iterators, boxing, scratch buffers). The temporaries are what ordinary
+// collections reclaim while a leak ratchets the heap toward exhaustion —
+// they are the reason full-heap collections happen repeatedly (and the
+// pruning state machine gets to advance) before memory is truly gone.
+func churn(t *vm.Thread, class heap.ClassID, n int) {
+	t.InFrame(1, func(f *vm.Frame) {
+		for i := 0; i < n; i++ {
+			f.Set(0, t.New(class))
+		}
+	})
+}

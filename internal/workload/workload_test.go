@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"testing"
+
+	"leakpruning/internal/vm"
+)
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) < 20 {
+		t.Fatalf("expected the ten leaks plus the overhead suite, got %d programs", len(names))
+	}
+	leaks := LeakNames()
+	if len(leaks) != 10 {
+		t.Fatalf("Table 1 has ten leaks, got %d: %v", len(leaks), leaks)
+	}
+	for _, n := range names {
+		p, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != n {
+			t.Fatalf("program %q reports name %q", n, p.Name())
+		}
+		if p.Description() == "" {
+			t.Fatalf("program %q has no description", n)
+		}
+		if p.DefaultHeap() == 0 {
+			t.Fatalf("program %q has no default heap", n)
+		}
+	}
+	if _, err := New("no-such-program"); err == nil {
+		t.Fatal("unknown program must error")
+	}
+}
+
+func TestMicroBenchNamesMatchFigure6Suite(t *testing.T) {
+	names := MicroBenchNames()
+	if len(names) != 12 {
+		t.Fatalf("suite size = %d", len(names))
+	}
+	for _, n := range names {
+		p, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, ok := p.(Sizer)
+		if !ok {
+			t.Fatalf("%s does not expose MinHeap", n)
+		}
+		if s.MinHeap() == 0 || p.DefaultHeap() < s.MinHeap() {
+			t.Fatalf("%s heap sizing inconsistent (min %d, default %d)", n, s.MinHeap(), p.DefaultHeap())
+		}
+	}
+}
+
+// TestEveryProgramRunsInAmpleHeap runs each program for a handful of
+// iterations in a heap far larger than it needs: no program may fail or
+// trigger pruning machinery when memory is plentiful.
+func TestEveryProgramRunsInAmpleHeap(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			prog, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := vm.New(vm.Options{
+				HeapLimit:      prog.DefaultHeap() * 8,
+				EnableBarriers: true,
+				GCWorkers:      2,
+			})
+			err = v.RunThread("main", func(th *vm.Thread) {
+				th.Scope(func() { prog.Setup(th) })
+				for i := 0; i < 5; i++ {
+					th.Scope(func() { prog.Iterate(th, i) })
+				}
+			})
+			if err != nil {
+				t.Fatalf("%s failed in an ample heap: %v", name, err)
+			}
+			if v.HeapStats().ObjectsUsed == 0 {
+				t.Fatalf("%s allocated nothing", name)
+			}
+		})
+	}
+}
+
+func TestDelaunayCompletes(t *testing.T) {
+	prog, err := New("delaunay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vm.New(vm.Options{HeapLimit: prog.DefaultHeap(), EnableBarriers: true, GCWorkers: 1})
+	completed := false
+	err = v.RunThread("main", func(th *vm.Thread) {
+		th.Scope(func() { prog.Setup(th) })
+		for i := 0; i < 100000 && !completed; i++ {
+			th.Scope(func() { completed = prog.Iterate(th, i) })
+		}
+	})
+	if err != nil {
+		t.Fatalf("delaunay died: %v", err)
+	}
+	if !completed {
+		t.Fatal("delaunay must finish naturally (short-running, §6)")
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := newRNG(7), newRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("rng not deterministic")
+		}
+	}
+	if newRNG(0).next() == 0 {
+		t.Fatal("zero seed must still produce output")
+	}
+	r := newRNG(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.intn(10); v < 0 || v >= 10 {
+			t.Fatalf("intn out of range: %d", v)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("intn(0) must panic")
+		}
+	}()
+	newRNG(1).intn(0)
+}
