@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test race vet bench-smoke bench-phases
+
+all: build test vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrent collector and allocator packages.
+race:
+	$(GO) test -race ./internal/gc/... ./internal/heap/...
+
+vet:
+	$(GO) vet ./...
+
+# One iteration of each phase benchmark — a fast compile-and-run sanity
+# check that the mark/sweep/alloc scaling benches still work.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='Benchmark(Mark|Sweep|Alloc)Parallel' -benchtime=1x .
+
+# Refresh the per-phase baseline JSON.
+bench-phases:
+	$(GO) run ./cmd/phasebench -o BENCH_gc_phases.json

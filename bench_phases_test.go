@@ -1,0 +1,132 @@
+// Phase-level GC benchmarks: mark, sweep, and allocation throughput as a
+// function of worker count, isolating each phase of the collector the way
+// cmd/phasebench does for the BENCH_gc_phases.json baseline. These are the
+// scaling proof for the work-stealing tracer, the parallel sweep-free, and
+// the sharded allocator; run them quickly with
+//
+//	go test -run='^$' -bench='Benchmark(Mark|Sweep|Alloc)Parallel' -benchtime=1x
+package leakpruning
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"leakpruning/internal/gc"
+	"leakpruning/internal/heap"
+)
+
+// phaseWorkerCounts is the worker axis shared by the phase benchmarks.
+var phaseWorkerCounts = []int{1, 2, 4, 8}
+
+// BenchmarkMarkParallel measures the mark (in-use closure) phase on the
+// ~262k-object tree heap from buildTraceHeap. Everything is reachable, so
+// each iteration re-traces the same live graph and sweep frees nothing.
+func BenchmarkMarkParallel(b *testing.B) {
+	for _, workers := range phaseWorkerCounts {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			h, roots := buildTraceHeap(b)
+			col := gc.NewCollector(h, roots, workers)
+			var mark time.Duration
+			var objs uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := col.Collect(gc.Plan{Mode: gc.ModeNormal})
+				mark += res.MarkDuration
+				objs += res.ObjectsLive
+			}
+			b.StopTimer()
+			if objs == 0 {
+				b.Fatal("no live objects traced")
+			}
+			b.ReportMetric(float64(mark.Nanoseconds())/float64(objs), "mark-ns/obj")
+		})
+	}
+}
+
+// buildGarbageHeap fills a heap with unreachable chain objects so a
+// collection's work is dominated by the sweep-free phase.
+func buildGarbageHeap(b *testing.B, n int) (*heap.Heap, *benchRoots) {
+	b.Helper()
+	reg := heap.NewRegistry()
+	node := reg.Define("Node", 1, 48)
+	h := heap.New(reg, 1<<30)
+	var prev heap.Ref
+	for i := 0; i < n; i++ {
+		r, err := h.Allocate(node)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !prev.IsNull() {
+			h.Get(r).SetRef(0, prev)
+		}
+		prev = r
+	}
+	return h, &benchRoots{}
+}
+
+// BenchmarkSweepParallel measures the sweep phase (scan + parallel
+// FreeBatch) on a ~131k-object fully-garbage heap, rebuilt outside the
+// timer each iteration.
+func BenchmarkSweepParallel(b *testing.B) {
+	const objects = 1 << 17
+	for _, workers := range phaseWorkerCounts {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			var sweep time.Duration
+			var objs uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				h, roots := buildGarbageHeap(b, objects)
+				col := gc.NewCollector(h, roots, workers)
+				b.StartTimer()
+				res := col.Collect(gc.Plan{Mode: gc.ModeNormal})
+				sweep += res.SweepDuration
+				objs += res.ObjectsFreed
+			}
+			b.StopTimer()
+			if objs == 0 {
+				b.Fatal("no objects swept")
+			}
+			b.ReportMetric(float64(sweep.Nanoseconds())/float64(objs), "sweep-ns/obj")
+		})
+	}
+}
+
+// BenchmarkAllocParallel measures mutator allocation throughput: g
+// goroutines each allocating through their own TLAB context into a fresh
+// heap. One benchmark iteration allocates perIter objects in total.
+func BenchmarkAllocParallel(b *testing.B) {
+	const perIter = 1 << 17
+	reg := heap.NewRegistry()
+	node := reg.Define("Node", 1, 48)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("goroutines-%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				h := heap.New(reg, 1<<30)
+				b.StartTimer()
+				var wg sync.WaitGroup
+				for g := 0; g < workers; g++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						ctx := h.NewAllocContext()
+						defer h.ReleaseContext(&ctx)
+						for j := 0; j < perIter/workers; j++ {
+							if _, err := h.AllocateCtx(&ctx, node); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*perIter), "alloc-ns/obj")
+		})
+	}
+}

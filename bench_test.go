@@ -27,7 +27,9 @@ import (
 const benchCap = 2000
 
 // runLeak executes one leak/policy configuration per b.N and reports the
-// survived-iterations metric.
+// survived-iterations metric, averaged across the b.N runs (each run is an
+// independent program execution, so the mean — not the last run — is the
+// Table 1/2 statistic).
 func runLeak(b *testing.B, program, policy string, fullHeapOnly bool) {
 	b.Helper()
 	var iterations, prunes float64
@@ -42,11 +44,11 @@ func runLeak(b *testing.B, program, policy string, fullHeapOnly bool) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		iterations = float64(res.Iterations)
-		prunes = float64(len(res.Prunes))
+		iterations += float64(res.Iterations)
+		prunes += float64(len(res.Prunes))
 	}
-	b.ReportMetric(iterations, "iterations")
-	b.ReportMetric(prunes, "prunes")
+	b.ReportMetric(iterations/float64(b.N), "iterations")
+	b.ReportMetric(prunes/float64(b.N), "prunes")
 }
 
 // ---------------------------------------------------------------------------
@@ -137,9 +139,9 @@ func benchGC(b *testing.B, force string) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		total = res.VMStats.GCTime
+		total += res.VMStats.GCTime
 	}
-	b.ReportMetric(float64(total.Microseconds()), "gc-us")
+	b.ReportMetric(float64(total.Microseconds())/float64(b.N), "gc-us")
 }
 
 func BenchmarkFigure7GCTime(b *testing.B) {
@@ -176,7 +178,7 @@ func BenchmarkCompile(b *testing.B) {
 func BenchmarkFullHeapThreshold(b *testing.B) {
 	run := func(b *testing.B, fullOnly bool) {
 		var worst time.Duration
-		var iterations int
+		var iterations float64
 		for i := 0; i < b.N; i++ {
 			res, err := harness.Run(harness.Config{
 				Program: "eclipsediff", Policy: "default",
@@ -185,8 +187,7 @@ func BenchmarkFullHeapThreshold(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			iterations = res.Iterations
-			worst = 0
+			iterations += float64(res.Iterations)
 			for _, d := range res.IterTimes {
 				if d > worst {
 					worst = d
@@ -194,7 +195,7 @@ func BenchmarkFullHeapThreshold(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(worst.Microseconds()), "worst-iter-us")
-		b.ReportMetric(float64(iterations), "iterations")
+		b.ReportMetric(iterations/float64(b.N), "iterations")
 	}
 	b.Run("option2-90pct", func(b *testing.B) { run(b, false) })
 	b.Run("option1-100pct", func(b *testing.B) { run(b, true) })

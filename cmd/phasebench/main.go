@@ -1,0 +1,195 @@
+// Command phasebench measures per-phase GC costs — mark, sweep, and
+// allocation ns per object — across tracer/sweeper worker counts, and
+// writes the results as JSON. It seeds and refreshes BENCH_gc_phases.json,
+// the repo's perf-trajectory baseline for the collector hot paths:
+//
+//	go run ./cmd/phasebench -o BENCH_gc_phases.json
+//
+// Mark is measured by re-tracing a fully-live tree heap; sweep by
+// collecting a fully-garbage heap; alloc by letting N goroutines allocate
+// through their own TLAB contexts. Each measurement repeats -repeat times
+// and keeps the best run (least scheduler noise).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"leakpruning/internal/gc"
+	"leakpruning/internal/heap"
+)
+
+type phaseResult struct {
+	Workers       int     `json:"workers"`
+	MarkNsPerObj  float64 `json:"mark_ns_per_obj"`
+	SweepNsPerObj float64 `json:"sweep_ns_per_obj"`
+	AllocNsPerObj float64 `json:"alloc_ns_per_obj"`
+}
+
+type report struct {
+	Objects    int           `json:"objects"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Repeat     int           `json:"repeat"`
+	Phases     []phaseResult `json:"phases"`
+}
+
+type rootSlice struct{ refs []heap.Ref }
+
+func (r *rootSlice) VisitRoots(fn func(heap.Ref)) {
+	for _, ref := range r.refs {
+		fn(ref)
+	}
+}
+
+// buildLiveHeap builds chains of n fully-reachable objects.
+func buildLiveHeap(n int) (*heap.Heap, *rootSlice) {
+	reg := heap.NewRegistry()
+	node := reg.Define("Node", 2, 64)
+	h := heap.New(reg, 1<<30)
+	roots := &rootSlice{}
+	const chains = 64
+	per := n / chains
+	for c := 0; c < chains; c++ {
+		var prev heap.Ref
+		for i := 0; i < per; i++ {
+			r, err := h.Allocate(node)
+			if err != nil {
+				panic(err)
+			}
+			if !prev.IsNull() {
+				h.Get(r).SetRef(0, prev)
+				// A shortcut edge doubles the scanned slots and gives the
+				// tracer's mark-word CAS real contention.
+				h.Get(r).SetRef(1, prev)
+			}
+			prev = r
+		}
+		roots.refs = append(roots.refs, prev)
+	}
+	return h, roots
+}
+
+// buildGarbageHeap builds n unreachable chain objects.
+func buildGarbageHeap(n int) (*heap.Heap, *rootSlice) {
+	reg := heap.NewRegistry()
+	node := reg.Define("Node", 1, 48)
+	h := heap.New(reg, 1<<30)
+	var prev heap.Ref
+	for i := 0; i < n; i++ {
+		r, err := h.Allocate(node)
+		if err != nil {
+			panic(err)
+		}
+		if !prev.IsNull() {
+			h.Get(r).SetRef(0, prev)
+		}
+		prev = r
+	}
+	return h, &rootSlice{}
+}
+
+func measureMark(objects, workers, repeat int) float64 {
+	h, roots := buildLiveHeap(objects)
+	col := gc.NewCollector(h, roots, workers)
+	best := 0.0
+	for i := 0; i < repeat; i++ {
+		res := col.Collect(gc.Plan{Mode: gc.ModeNormal})
+		ns := float64(res.MarkDuration.Nanoseconds()) / float64(res.ObjectsLive)
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+func measureSweep(objects, workers, repeat int) float64 {
+	best := 0.0
+	for i := 0; i < repeat; i++ {
+		h, roots := buildGarbageHeap(objects)
+		col := gc.NewCollector(h, roots, workers)
+		res := col.Collect(gc.Plan{Mode: gc.ModeNormal})
+		ns := float64(res.SweepDuration.Nanoseconds()) / float64(res.ObjectsFreed)
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+func measureAlloc(objects, workers, repeat int) float64 {
+	reg := heap.NewRegistry()
+	node := reg.Define("Node", 1, 48)
+	best := 0.0
+	for i := 0; i < repeat; i++ {
+		h := heap.New(reg, 1<<30)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx := h.NewAllocContext()
+				defer h.ReleaseContext(&ctx)
+				for j := 0; j < objects/workers; j++ {
+					if _, err := h.AllocateCtx(&ctx, node); err != nil {
+						panic(err)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		ns := float64(time.Since(start).Nanoseconds()) / float64(objects)
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+func main() {
+	out := flag.String("o", "BENCH_gc_phases.json", "output path ('-' for stdout)")
+	objects := flag.Int("objects", 1<<17, "objects per phase heap")
+	repeat := flag.Int("repeat", 3, "repetitions per measurement (best kept)")
+	flag.Parse()
+	if *objects < 1 || *repeat < 1 {
+		fmt.Fprintln(os.Stderr, "phasebench: -objects and -repeat must be >= 1")
+		os.Exit(2)
+	}
+
+	rep := report{
+		Objects:    *objects,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Repeat:     *repeat,
+	}
+	for _, w := range []int{1, 2, 4} {
+		fmt.Fprintf(os.Stderr, "phasebench: measuring workers=%d...\n", w)
+		rep.Phases = append(rep.Phases, phaseResult{
+			Workers:       w,
+			MarkNsPerObj:  measureMark(*objects, w, *repeat),
+			SweepNsPerObj: measureSweep(*objects, w, *repeat),
+			AllocNsPerObj: measureAlloc(*objects, w, *repeat),
+		})
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "phasebench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "phasebench: wrote %s\n", *out)
+}

@@ -1,8 +1,11 @@
 // Package gc implements the stop-the-world parallel tracing collector the
 // leak-pruning runtime piggybacks on. It is modelled on MMTk's parallel
-// mark-sweep (§5): worker threads share a global pool of work batches and
-// keep local queues; objects are claimed with a compare-and-swap on their
-// mark word so no object is scanned twice.
+// mark-sweep (§5): worker threads exchange batches of work through
+// per-worker Chase–Lev work-stealing deques (see deque.go) and keep local
+// mark stacks; objects are claimed with a compare-and-swap on their mark
+// word so no object is scanned twice. Sweeping is sharded the same way,
+// with each worker freeing the garbage it finds through the heap's
+// shard-safe FreeBatch.
 //
 // Leak pruning divides the regular transitive closure into the in-use
 // closure and the stale closure (§4.2) and, in the PRUNE state, poisons
@@ -48,8 +51,10 @@ func (m Mode) String() string {
 	return "unknown"
 }
 
-// Plan configures one collection cycle. All callbacks may be invoked
-// concurrently from tracer workers and must be safe for that.
+// Plan configures one collection cycle. Candidate, ShouldPrune, OnPrune,
+// and AccountStaleBytes may be invoked concurrently from tracer workers
+// and must be safe for that; StaleEdge and OnFree are buffered by the
+// workers and delivered serially (see their comments).
 type Plan struct {
 	Mode Mode
 
@@ -67,10 +72,12 @@ type Plan struct {
 	// (ModeSelect only; nil means no candidates are taken).
 	Candidate func(src, tgt heap.ClassID, stale uint8) bool
 
-	// StaleEdge is called during the in-use closure for every traced
-	// reference whose target has stale counter >= 2, with the target's own
-	// size. The individual-references baseline (§6.1) accounts bytes here
-	// instead of running the stale closure.
+	// StaleEdge is called for every reference the in-use closure traced
+	// whose target has stale counter >= 2, with the target's own size. The
+	// individual-references baseline (§6.1) accounts bytes here instead of
+	// running the stale closure. Workers buffer these observations and the
+	// tracer replays them serially after the closure completes, so the
+	// callback needs no locking.
 	StaleEdge func(src, tgt heap.ClassID, stale uint8, tgtBytes uint64)
 
 	// AccountStaleBytes receives, for each candidate root, the bytes the
@@ -87,8 +94,11 @@ type Plan struct {
 	// messages).
 	OnPrune func(srcID heap.ObjectID, slot int, src, tgt heap.ClassID)
 
-	// OnFree is called for every object the sweep reclaims, before its
-	// storage is released (the VM uses this to run finalizers, §2).
+	// OnFree is called serially, once per object the sweep reclaims, after
+	// all sweep workers have finished freeing (the VM uses this to run
+	// finalizers, §2, which must never observe concurrency). The object's
+	// identity, class, and size are captured at scan time, before the slot
+	// is recycled.
 	OnFree func(id heap.ObjectID, class heap.ClassID, size uint64)
 }
 
@@ -182,7 +192,7 @@ func (c *Collector) Collect(plan Plan) Result {
 		res.StaleDuration = time.Since(staleStart)
 	}
 	res.Candidates = len(tr.candidates)
-	res.PrunedRefs = int(tr.prunedRefs.Load())
+	res.PrunedRefs = int(tr.prunedRefs)
 
 	// Phase 3: sweep, staleness aging, and accounting.
 	sweepStart := time.Now()
@@ -213,10 +223,25 @@ type sweepResult struct {
 	maxStale                 uint8
 }
 
+// freeRec captures a reclaimed object's identity for the serial finalizer
+// pass, recorded at scan time before the slot is recycled.
+type freeRec struct {
+	id    heap.ObjectID
+	class heap.ClassID
+	size  uint64
+}
+
+// sweepFreeBatch bounds how many dead IDs a sweep worker accumulates
+// before handing them to the (shard-safe) FreeBatch, keeping memory flat
+// and spreading shard-lock acquisitions.
+const sweepFreeBatch = 1024
+
 // sweep reclaims every unmarked object and ages live objects' stale
-// counters when the plan asks for it. The scan phase is sharded across the
-// tracer's workers; freeing (and the finalizer hook) runs serially
-// afterwards so finalizers never observe concurrency.
+// counters when the plan asks for it. Both the scan and the freeing are
+// sharded across the tracer's workers: each worker frees the dead lists it
+// finds through the heap's shard-safe FreeBatch. Only the finalizer hook
+// runs serially afterwards, on identities captured during the scan, so
+// finalizers never observe concurrency.
 func (c *Collector) sweep(plan Plan) sweepResult {
 	maxID := c.heap.MaxID()
 	workers := c.workers
@@ -225,39 +250,55 @@ func (c *Collector) sweep(plan Plan) sweepResult {
 	}
 
 	results := make([]sweepResult, workers)
-	deads := make([][]heap.ObjectID, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			sr := &results[w]
-			lo := heap.ObjectID(1 + (uint64(w)*uint64(maxID-1))/uint64(workers))
-			hi := heap.ObjectID(1 + (uint64(w+1)*uint64(maxID-1))/uint64(workers))
-			for id := lo; id < hi; id++ {
-				obj, ok := c.heap.Lookup(id)
-				if !ok {
-					continue
-				}
-				if obj.Marked(c.epoch) {
-					sr.bytesLive += obj.Size()
-					sr.objectsLive++
-					s := obj.Stale()
-					if plan.AgeStaleness {
-						s = obj.AgeStale(c.index)
-					}
-					if s > sr.maxStale {
-						sr.maxStale = s
-					}
-					continue
-				}
-				sr.bytesFreed += obj.Size()
-				sr.objectsFreed++
-				deads[w] = append(deads[w], id)
+	finals := make([][]freeRec, workers)
+	scan := func(w int) {
+		sr := &results[w]
+		lo := heap.ObjectID(1 + (uint64(w)*uint64(maxID-1))/uint64(workers))
+		hi := heap.ObjectID(1 + (uint64(w+1)*uint64(maxID-1))/uint64(workers))
+		dead := make([]heap.ObjectID, 0, sweepFreeBatch)
+		for id := lo; id < hi; id++ {
+			obj, ok := c.heap.Lookup(id)
+			if !ok {
+				continue
 			}
-		}(w)
+			if obj.Marked(c.epoch) {
+				sr.bytesLive += obj.Size()
+				sr.objectsLive++
+				s := obj.Stale()
+				if plan.AgeStaleness {
+					s = obj.AgeStale(c.index)
+				}
+				if s > sr.maxStale {
+					sr.maxStale = s
+				}
+				continue
+			}
+			sr.bytesFreed += obj.Size()
+			sr.objectsFreed++
+			if plan.OnFree != nil {
+				finals[w] = append(finals[w], freeRec{id: id, class: obj.Class(), size: obj.Size()})
+			}
+			dead = append(dead, id)
+			if len(dead) >= sweepFreeBatch {
+				c.heap.FreeBatch(dead)
+				dead = dead[:0]
+			}
+		}
+		c.heap.FreeBatch(dead)
 	}
-	wg.Wait()
+	if workers == 1 {
+		scan(0)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				scan(w)
+			}(w)
+		}
+		wg.Wait()
+	}
 
 	var sr sweepResult
 	for w := range results {
@@ -269,15 +310,12 @@ func (c *Collector) sweep(plan Plan) sweepResult {
 			sr.maxStale = results[w].maxStale
 		}
 	}
-	for _, dead := range deads {
-		if plan.OnFree != nil {
-			for _, id := range dead {
-				if obj, ok := c.heap.Lookup(id); ok {
-					plan.OnFree(id, obj.Class(), obj.Size())
-				}
+	if plan.OnFree != nil {
+		for _, recs := range finals {
+			for _, f := range recs {
+				plan.OnFree(f.id, f.class, f.size)
 			}
 		}
-		c.heap.FreeBatch(dead)
 	}
 	return sr
 }

@@ -1,6 +1,7 @@
 package gc
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -15,136 +16,215 @@ type candidate struct {
 	ref      heap.Ref
 }
 
+// staleEdge is one buffered StaleEdge observation: workers record these
+// locally during the in-use closure and the tracer replays them serially
+// after run(), so the callback needs no locking.
+type staleEdge struct {
+	src, tgt heap.ClassID
+	stale    uint8
+	bytes    uint64
+}
+
 const (
 	// batchSize is the number of object IDs moved between a worker's local
-	// stack and the shared pool at a time.
+	// stack and its deque at a time.
 	batchSize = 128
-	// spillAt is the local stack depth beyond which a worker donates a
-	// batch to the shared pool so idle workers can help.
+	// spillAt is the local stack depth beyond which a worker donates
+	// batches to its deque so idle workers can steal them.
 	spillAt = 4 * batchSize
 )
 
-// tracer runs one transitive closure with work sharing, mirroring MMTk's
-// shared-pool/local-queue design (§4.5).
+// tracer runs one transitive closure with work stealing, mirroring MMTk's
+// parallel tracing (§4.5) but replacing the mutex/condvar shared pool with
+// per-worker Chase–Lev deques: owners push and pop their own deque without
+// locks, idle workers steal batches with a CAS, and termination is
+// detected with an atomic idle counter.
 type tracer struct {
-	heap    *heap.Heap
-	epoch   uint32
-	plan    Plan
-	workers int
+	heap  *heap.Heap
+	epoch uint32
+	plan  Plan
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	shared  [][]heap.ObjectID
-	waiting int
-	done    bool
+	workers []*traceWorker
+	// idle counts workers that found no work anywhere. When it reaches
+	// len(workers) with every deque empty, the closure is complete.
+	idle atomic.Int32
 
-	candMu     sync.Mutex
+	// roots accumulates root IDs during the serial markRoot phase; run()
+	// deals them out to the worker deques.
+	roots []heap.ObjectID
+
+	// Merged after run() from the per-worker buffers.
 	candidates []candidate
+	prunedRefs int64
+}
 
-	prunedRefs atomic.Int64
+// traceWorker is one tracer worker's private state: its deque, local mark
+// stack, and the buffers that replace the old global candMu/StaleEdge
+// locking — merged serially once the closure finishes.
+type traceWorker struct {
+	t     *tracer
+	id    int
+	deque wsDeque
+	local []heap.ObjectID
+
+	candidates []candidate
+	staleEdges []staleEdge
+	pruned     int64
 }
 
 func newTracer(h *heap.Heap, epoch uint32, plan Plan, workers int) *tracer {
-	t := &tracer{heap: h, epoch: epoch, plan: plan, workers: workers}
-	t.cond = sync.NewCond(&t.mu)
+	t := &tracer{heap: h, epoch: epoch, plan: plan}
+	t.workers = make([]*traceWorker, workers)
+	for i := range t.workers {
+		w := &traceWorker{t: t, id: i}
+		w.deque.init()
+		t.workers[i] = w
+	}
 	return t
 }
 
-// markRoot claims a root-referenced object and seeds the shared pool. Roots
+// markRoot claims a root-referenced object and queues it for tracing. Roots
 // are never pruning candidates: candidates are heap edges keyed by their
 // source class, and roots have none (§3.1's example shows candidates only
-// on object-to-object references).
+// on object-to-object references). markRoot runs serially before run().
 func (t *tracer) markRoot(r heap.Ref) {
 	obj := t.heap.Get(r)
 	if !obj.TryMark(t.epoch) {
 		return
 	}
-	t.mu.Lock()
-	t.shared = append(t.shared, []heap.ObjectID{r.ID()})
-	t.mu.Unlock()
+	t.roots = append(t.roots, r.ID())
 }
 
-// run processes the shared pool to exhaustion with t.workers goroutines.
+// run deals the claimed roots across the worker deques in batches
+// (round-robin, so large root sets start balanced) and processes the
+// closure to exhaustion. Afterwards it merges the workers' private
+// buffers: candidates and prune counts are concatenated, and buffered
+// StaleEdge observations are replayed serially.
 func (t *tracer) run() {
-	if t.workers == 1 {
-		t.worker()
-		return
-	}
-	var wg sync.WaitGroup
-	for i := 0; i < t.workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			t.worker()
-		}()
-	}
-	wg.Wait()
-}
-
-// take blocks until a batch is available or the closure has terminated
-// (every worker idle with an empty pool).
-func (t *tracer) take() ([]heap.ObjectID, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for {
-		if n := len(t.shared); n > 0 {
-			b := t.shared[n-1]
-			t.shared = t.shared[:n-1]
-			return b, true
+	n := len(t.workers)
+	for i := 0; len(t.roots) > 0; i++ {
+		bn := batchSize
+		if bn > len(t.roots) {
+			bn = len(t.roots)
 		}
-		if t.done {
-			return nil, false
-		}
-		t.waiting++
-		if t.waiting == t.workers {
-			t.done = true
-			t.cond.Broadcast()
-			t.waiting--
-			return nil, false
-		}
-		t.cond.Wait()
-		t.waiting--
+		ids := make([]heap.ObjectID, bn)
+		copy(ids, t.roots[:bn])
+		t.roots = t.roots[bn:]
+		t.workers[i%n].deque.push(&workBatch{ids: ids})
 	}
-}
 
-// donate moves a batch from a worker's local stack to the shared pool.
-func (t *tracer) donate(batch []heap.ObjectID) {
-	t.mu.Lock()
-	t.shared = append(t.shared, batch)
-	t.cond.Signal()
-	t.mu.Unlock()
-}
+	if n == 1 {
+		t.workers[0].run()
+	} else {
+		var wg sync.WaitGroup
+		for _, w := range t.workers {
+			wg.Add(1)
+			go func(w *traceWorker) {
+				defer wg.Done()
+				w.run()
+			}(w)
+		}
+		wg.Wait()
+	}
 
-func (t *tracer) worker() {
-	var local []heap.ObjectID
-	for {
-		if len(local) == 0 {
-			batch, ok := t.take()
-			if !ok {
-				return
+	for _, w := range t.workers {
+		t.candidates = append(t.candidates, w.candidates...)
+		t.prunedRefs += w.pruned
+		if t.plan.StaleEdge != nil {
+			for _, e := range w.staleEdges {
+				t.plan.StaleEdge(e.src, e.tgt, e.stale, e.bytes)
 			}
-			local = append(local, batch...)
+		}
+	}
+}
+
+// run is one worker's loop: drain the local stack, then the own deque,
+// then steal — or detect termination.
+func (w *traceWorker) run() {
+	t := w.t
+	for {
+		for len(w.local) > 0 {
+			n := len(w.local) - 1
+			id := w.local[n]
+			w.local = w.local[:n]
+			w.scan(id)
+			for len(w.local) >= spillAt {
+				w.spill()
+			}
+		}
+		if b := w.deque.pop(); b != nil {
+			w.local = append(w.local, b.ids...)
 			continue
 		}
-		id := local[len(local)-1]
-		local = local[:len(local)-1]
-		local = t.scan(id, local)
-		if len(local) >= spillAt {
-			batch := make([]heap.ObjectID, batchSize)
-			copy(batch, local[:batchSize])
-			local = append(local[:0], local[batchSize:]...)
-			t.donate(batch)
+		if len(t.workers) == 1 || !w.acquire() {
+			return
 		}
 	}
+}
+
+// spill donates the oldest batchSize entries of the local stack to the
+// worker's own deque, where idle workers can steal them (§4.5's batch
+// donation). Donating the oldest entries hands thieves the shallow,
+// high-fanout part of the graph.
+func (w *traceWorker) spill() {
+	batch := make([]heap.ObjectID, batchSize)
+	copy(batch, w.local[:batchSize])
+	w.local = append(w.local[:0], w.local[batchSize:]...)
+	w.deque.push(&workBatch{ids: batch})
+}
+
+// acquire obtains work from another worker's deque, or detects global
+// termination. It returns false only when every worker is idle and every
+// deque is empty; since only owners push (and an owner drains its own
+// deque before idling), that state is stable and means the closure is
+// complete.
+func (w *traceWorker) acquire() bool {
+	t := w.t
+	n := len(t.workers)
+	for {
+		for i := 1; i < n; i++ {
+			if b := t.workers[(w.id+i)%n].deque.steal(); b != nil {
+				w.local = append(w.local, b.ids...)
+				return true
+			}
+		}
+		// Nothing stolen: announce idleness, then either retract (work is
+		// still queued somewhere — e.g. a steal lost a CAS race) or
+		// terminate once every worker is idle.
+		t.idle.Add(1)
+		for {
+			if t.anyQueued() {
+				t.idle.Add(-1)
+				break // rescan the deques
+			}
+			if int(t.idle.Load()) == n {
+				return false
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// anyQueued reports whether any worker's deque still holds a batch.
+func (t *tracer) anyQueued() bool {
+	for _, w := range t.workers {
+		if !w.deque.empty() {
+			return true
+		}
+	}
+	return false
 }
 
 // scan processes one marked object's reference slots: tagging, candidate
-// deferral, pruning, and marking of children. It returns the worker's local
-// stack with newly claimed children pushed.
-func (t *tracer) scan(id heap.ObjectID, local []heap.ObjectID) []heap.ObjectID {
+// deferral, pruning, and marking of children. Newly claimed children are
+// pushed on the worker's local stack; policy callbacks that need ordering
+// (StaleEdge) or aggregation (candidates, prune counts) go to the worker's
+// private buffers instead of shared, locked state.
+func (w *traceWorker) scan(id heap.ObjectID) {
+	t := w.t
 	obj, ok := t.heap.Lookup(id)
 	if !ok {
-		return local
+		return
 	}
 	src := obj.Class()
 	for slot, n := 0, obj.NumRefs(); slot < n; slot++ {
@@ -162,7 +242,7 @@ func (t *tracer) scan(id heap.ObjectID, local []heap.ObjectID) []heap.ObjectID {
 		stale := tgt.Stale()
 
 		if t.plan.StaleEdge != nil && stale >= 2 {
-			t.plan.StaleEdge(src, tgtClass, stale, tgt.Size())
+			w.staleEdges = append(w.staleEdges, staleEdge{src: src, tgt: tgtClass, stale: stale, bytes: tgt.Size()})
 		}
 
 		switch t.plan.Mode {
@@ -173,9 +253,7 @@ func (t *tracer) scan(id heap.ObjectID, local []heap.ObjectID) []heap.ObjectID {
 				if t.plan.TagRefs && !r.IsStaleTagged() {
 					obj.SetRef(slot, r.Untagged().WithStale())
 				}
-				t.candMu.Lock()
-				t.candidates = append(t.candidates, candidate{src: src, tgt: tgtClass, ref: r.Untagged()})
-				t.candMu.Unlock()
+				w.candidates = append(w.candidates, candidate{src: src, tgt: tgtClass, ref: r.Untagged()})
 				continue
 			}
 		case ModePrune:
@@ -183,7 +261,7 @@ func (t *tracer) scan(id heap.ObjectID, local []heap.ObjectID) []heap.ObjectID {
 				// Poison: set the second-lowest bit as well as the lowest
 				// bit and do not trace the target (§4.3).
 				obj.SetRef(slot, r.Untagged().WithPoison())
-				t.prunedRefs.Add(1)
+				w.pruned++
 				if t.plan.OnPrune != nil {
 					t.plan.OnPrune(id, slot, src, tgtClass)
 				}
@@ -198,10 +276,9 @@ func (t *tracer) scan(id heap.ObjectID, local []heap.ObjectID) []heap.ObjectID {
 			obj.SetRef(slot, r.Untagged().WithStale())
 		}
 		if tgt.TryMark(t.epoch) {
-			local = append(local, r.ID())
+			w.local = append(w.local, r.ID())
 		}
 	}
-	return local
 }
 
 // staleClosure runs the SELECT state's second phase: from each candidate
@@ -213,7 +290,7 @@ func (t *tracer) scan(id heap.ObjectID, local []heap.ObjectID) []heap.ObjectID {
 func (t *tracer) staleClosure() uint64 {
 	var total atomic.Uint64
 	var next atomic.Int64
-	workers := t.workers
+	workers := len(t.workers)
 	if workers > len(t.candidates) {
 		workers = len(t.candidates)
 	}

@@ -14,6 +14,10 @@ const (
 	maxChunks  = 1 << 16 // up to ~1 G objects
 )
 
+// chunk is one fixed block of the object table. Chunks are never moved or
+// reclaimed, so *Object pointers stay valid until the object is freed.
+type chunk [chunkSize]Object
+
 // ErrHeapFull is returned by Allocate when the requested object does not fit
 // under the heap limit. The caller (the VM's allocation slow path) reacts by
 // collecting, pruning, or raising the out-of-memory error.
@@ -43,28 +47,46 @@ func (s Stats) Fullness() float64 {
 // accounting against a fixed limit. Object pointers returned by Get remain
 // valid until the object is freed, because chunks are never moved.
 //
-// Allocation and freeing are serialized by an internal mutex; slot reads and
-// writes on individual objects are atomic and lock-free (see Object).
+// Allocation and freeing are sharded: slot free lists and accounting live
+// in numShards independently locked shards (see shard.go), the used-byte
+// counter is a single atomic charged by CAS, and the chunk table is read
+// through atomic pointers. Slot reads and writes on individual objects are
+// atomic and lock-free (see Object). Free and FreeBatch may be called from
+// multiple sweep workers concurrently, for disjoint objects.
 type Heap struct {
 	classes *Registry
+	limit   uint64
 
-	mu     sync.Mutex
-	chunks [maxChunks]*[chunkSize]Object
-	// next is the lowest never-used ObjectID; freed IDs are recycled LIFO
-	// from free before next is advanced.
-	next ObjectID
-	free []ObjectID
+	// used is the authoritative used-byte count, charged against limit by
+	// CAS. It includes bytes reserved by live AllocContexts (TLAB quotas)
+	// that have not yet become objects; the VM returns those at every
+	// stop-the-world collection, so post-GC readings are exact.
+	used atomic.Uint64
 
-	stats Stats
-	// disk is the offload accounting (the Melt-style baseline).
-	disk DiskStats
+	// next is the lowest never-carved ObjectID. Shards carve blocks of
+	// fresh IDs from it; freed IDs recycle through per-shard free lists.
+	next atomic.Uint64
+
+	// chunkMu serializes chunk creation only; lookups are lock-free.
+	chunkMu sync.Mutex
+	chunks  [maxChunks]atomic.Pointer[chunk]
+
+	shards [numShards]shard
+	// rotor spreads context-less allocations and new AllocContexts across
+	// shards.
+	rotor atomic.Uint32
+
 	// generational enables nursery tracking: new objects are flagged young
 	// and listed for minor sweeps.
-	generational bool
-	young        []ObjectID
-	// usedAtomic mirrors stats.BytesUsed for lock-free reads on the
-	// allocation fast path (the soft GC trigger check).
-	usedAtomic atomic.Uint64
+	generational atomic.Bool
+	// allocBytes counts cumulative allocated bytes, maintained only in
+	// generational mode where the nursery trigger needs a cheap exact read.
+	allocBytes atomic.Uint64
+
+	// diskMu guards the offload accounting and offload-state transitions.
+	// Lock order: shard.mu before diskMu.
+	diskMu sync.Mutex
+	disk   DiskStats
 }
 
 // New creates a heap with the given byte limit and class registry.
@@ -75,7 +97,9 @@ func New(classes *Registry, limit uint64) *Heap {
 	if limit == 0 {
 		panic("heap: zero heap limit")
 	}
-	return &Heap{classes: classes, next: 1, stats: Stats{Limit: limit}}
+	h := &Heap{classes: classes, limit: limit}
+	h.next.Store(1)
+	return h
 }
 
 // Classes returns the heap's class registry.
@@ -83,40 +107,59 @@ func (h *Heap) Classes() *Registry { return h.classes }
 
 // EnableGenerations turns on nursery tracking: subsequently allocated
 // objects are young until they survive a collection.
-func (h *Heap) EnableGenerations() {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.generational = true
-}
+func (h *Heap) EnableGenerations() { h.generational.Store(true) }
 
 // YoungIDs returns a copy of the current nursery membership. Call only
 // stop-the-world.
 func (h *Heap) YoungIDs() []ObjectID {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return append([]ObjectID(nil), h.young...)
+	var out []ObjectID
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		out = append(out, s.young...)
+		s.mu.Unlock()
+	}
+	return out
 }
 
-// ResetYoung empties the nursery list after a collection promoted or freed
-// its members. Call only stop-the-world.
+// ResetYoung empties the nursery lists after a collection promoted or freed
+// their members. Call only stop-the-world.
 func (h *Heap) ResetYoung() {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.young = h.young[:0]
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		s.young = s.young[:0]
+		s.mu.Unlock()
+	}
 }
 
 // Limit returns the heap's maximum size in simulated bytes.
-func (h *Heap) Limit() uint64 { return h.stats.Limit }
+func (h *Heap) Limit() uint64 { return h.limit }
 
-// BytesUsed returns the current used-byte count without taking the heap
-// lock (it may lag a concurrent allocation by one update).
-func (h *Heap) BytesUsed() uint64 { return h.usedAtomic.Load() }
+// BytesUsed returns the current used-byte count without locking (it may
+// include outstanding TLAB reservations between collections).
+func (h *Heap) BytesUsed() uint64 { return h.used.Load() }
 
-// Stats returns a snapshot of the accounting counters.
+// AllocatedBytes returns cumulative allocated bytes with one atomic load.
+// Maintained only in generational mode (the nursery trigger's fast path);
+// Stats().BytesAlloc is the always-exact locked reading.
+func (h *Heap) AllocatedBytes() uint64 { return h.allocBytes.Load() }
+
+// Stats returns a snapshot of the accounting counters, summed across
+// shards.
 func (h *Heap) Stats() Stats {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.stats
+	st := Stats{Limit: h.limit, BytesUsed: h.used.Load()}
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		st.BytesAlloc += s.bytesAlloc
+		st.ObjectsAlloc += s.objectsAlloc
+		st.BytesFreed += s.bytesFreed
+		st.ObjectsFreed += s.objectsFreed
+		st.ObjectsUsed += s.objectsUsed
+		s.mu.Unlock()
+	}
+	return st
 }
 
 // ObjectSize returns the simulated size of an object with the given shape.
@@ -143,11 +186,22 @@ func WithScalarBytes(n int) AllocOption {
 	return func(s *allocShape) { s.scalarBytes = n }
 }
 
-// Allocate creates a new object of the given class, charging its size
-// against the heap limit. All reference slots start null. It returns
+// Allocate creates a new object of the given class, charging exactly its
+// size against the heap limit. All reference slots start null. It returns
 // ErrHeapFull (without allocating) when the object does not fit; triggering
 // collection is the caller's job, keeping the heap policy-free.
 func (h *Heap) Allocate(class ClassID, opts ...AllocOption) (Ref, error) {
+	return h.allocate(nil, class, opts)
+}
+
+// AllocateCtx is Allocate through a TLAB-style context: the size is taken
+// from the context's reserved quota when possible, so the shared byte
+// counter is touched at most once (on refill) instead of per object.
+func (h *Heap) AllocateCtx(ctx *AllocContext, class ClassID, opts ...AllocOption) (Ref, error) {
+	return h.allocate(ctx, class, opts)
+}
+
+func (h *Heap) allocate(ctx *AllocContext, class ClassID, opts []AllocOption) (Ref, error) {
 	c := h.classes.Get(class)
 	shape := allocShape{refSlots: c.RefSlots, scalarBytes: c.ScalarBytes}
 	for _, o := range opts {
@@ -158,19 +212,35 @@ func (h *Heap) Allocate(class ClassID, opts ...AllocOption) (Ref, error) {
 	}
 	size := ObjectSize(shape.refSlots, shape.scalarBytes)
 
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.stats.BytesUsed+size > h.stats.Limit {
-		return Null, ErrHeapFull
+	var preferred uint32
+	if ctx != nil {
+		if ctx.reserved < size && !h.refill(ctx, size) {
+			return Null, ErrHeapFull
+		}
+		ctx.reserved -= size
+		preferred = ctx.shard
+	} else {
+		if !h.reserveExact(size) {
+			return Null, ErrHeapFull
+		}
+		preferred = h.rotor.Add(1)
 	}
-	id, obj := h.takeSlotLocked()
+	generational := h.generational.Load()
+	if generational {
+		h.allocBytes.Add(size)
+	}
+
+	id, obj, si := h.takeSlot(preferred) // returns with the shard's lock held
+	s := &h.shards[si]
 	obj.class = class
-	obj.stale = 0
-	obj.flags = 0
-	if h.generational {
-		obj.flags = flagYoung
-		h.young = append(h.young, id)
+	atomic.StoreUint32(&obj.stale, 0)
+	var flags uint32
+	if generational {
+		flags = flagYoung
+		s.young = append(s.young, id)
 	}
+	atomic.StoreUint32(&obj.flags, flags)
+	obj.home = uint8(si)
 	obj.size = size
 	if cap(obj.refs) >= shape.refSlots {
 		obj.refs = obj.refs[:shape.refSlots]
@@ -182,34 +252,15 @@ func (h *Heap) Allocate(class ClassID, opts ...AllocOption) (Ref, error) {
 	}
 	// The mark word is left at its previous value: epochs only ever move
 	// forward, so a recycled slot can never appear already-marked.
-	h.stats.BytesUsed += size
-	h.stats.ObjectsUsed++
-	h.stats.BytesAlloc += size
-	h.stats.ObjectsAlloc++
-	h.usedAtomic.Store(h.stats.BytesUsed)
+	s.bytesAlloc += size
+	s.objectsAlloc++
+	s.objectsUsed++
+	s.mu.Unlock()
 	return MakeRef(id), nil
 }
 
-func (h *Heap) takeSlotLocked() (ObjectID, *Object) {
-	if n := len(h.free); n > 0 {
-		id := h.free[n-1]
-		h.free = h.free[:n-1]
-		return id, h.slot(id)
-	}
-	id := h.next
-	h.next++
-	ci := int(id) >> chunkShift
-	if ci >= maxChunks {
-		panic("heap: object table exhausted")
-	}
-	if h.chunks[ci] == nil {
-		h.chunks[ci] = new([chunkSize]Object)
-	}
-	return id, &h.chunks[ci][int(id)&chunkMask]
-}
-
 func (h *Heap) slot(id ObjectID) *Object {
-	c := h.chunks[int(id)>>chunkShift]
+	c := h.chunks[int(id)>>chunkShift].Load()
 	if c == nil {
 		return nil
 	}
@@ -232,50 +283,92 @@ func (h *Heap) Get(r Ref) *Object {
 	return obj
 }
 
-// Free releases the object behind r and credits its bytes back. Only the
-// collector's sweep calls this. Freeing an already-free slot panics.
+// Free releases the object and credits its bytes back through its home
+// shard. Only the collector's sweep calls this; sweep workers may free
+// disjoint objects concurrently. Freeing an already-free slot panics.
 func (h *Heap) Free(id ObjectID) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	obj := h.slot(id)
 	if obj == nil || obj.size == 0 {
 		panic(fmt.Sprintf("heap: double free of object %d", id))
 	}
-	h.freeAccountingLocked(obj)
-	obj.size = 0
-	obj.class = 0
-	obj.refs = obj.refs[:0]
-	h.free = append(h.free, id)
+	s := &h.shards[obj.home&shardMask]
+	s.mu.Lock()
+	if obj.size == 0 { // re-check under the home shard's lock
+		s.mu.Unlock()
+		panic(fmt.Sprintf("heap: double free of object %d", id))
+	}
+	credit := h.freeLocked(s, id, obj)
+	s.mu.Unlock()
+	h.creditBytes(credit)
 }
 
-// FreeBatch releases many objects under one lock acquisition (the
-// collector's sweep). Panics on double frees, like Free.
+// FreeBatch releases many objects, bucketed by home shard so each shard
+// lock is taken once. Panics on double frees, like Free. Parallel sweep
+// workers call this concurrently with disjoint dead lists.
 func (h *Heap) FreeBatch(ids []ObjectID) {
 	if len(ids) == 0 {
 		return
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	var buckets [numShards][]ObjectID
 	for _, id := range ids {
 		obj := h.slot(id)
 		if obj == nil || obj.size == 0 {
 			panic(fmt.Sprintf("heap: double free of object %d", id))
 		}
-		h.freeAccountingLocked(obj)
-		obj.size = 0
-		obj.class = 0
-		obj.refs = obj.refs[:0]
-		h.free = append(h.free, id)
+		si := obj.home & shardMask
+		buckets[si] = append(buckets[si], id)
 	}
+	var credit uint64
+	for si := range buckets {
+		if len(buckets[si]) == 0 {
+			continue
+		}
+		s := &h.shards[si]
+		s.mu.Lock()
+		for _, id := range buckets[si] {
+			obj := h.slot(id)
+			if obj.size == 0 {
+				s.mu.Unlock()
+				panic(fmt.Sprintf("heap: double free of object %d", id))
+			}
+			credit += h.freeLocked(s, id, obj)
+		}
+		s.mu.Unlock()
+	}
+	h.creditBytes(credit)
+}
+
+// freeLocked releases obj (slot id) into shard s, clearing its header so a
+// recycled slot starts clean: flags, stale counter, class, size, and refs
+// are all reset (the mark word is deliberately kept — see Allocate). It
+// returns the heap-resident bytes to credit back to the used counter (zero
+// for offloaded objects, whose bytes live on disk). Caller holds s.mu.
+func (h *Heap) freeLocked(s *shard, id ObjectID, obj *Object) uint64 {
+	size := obj.size
+	heapBytes := size
+	if obj.IsOffloaded() {
+		h.diskMu.Lock()
+		h.disk.BytesUsed -= size
+		h.diskMu.Unlock()
+		heapBytes = 0
+	}
+	s.bytesFreed += size
+	s.objectsFreed++
+	s.objectsUsed--
+	obj.size = 0
+	obj.class = 0
+	obj.refs = obj.refs[:0]
+	atomic.StoreUint32(&obj.flags, 0)
+	atomic.StoreUint32(&obj.stale, 0)
+	s.free = append(s.free, id)
+	return heapBytes
 }
 
 // ForEach calls fn for every allocated object, passing its ID. The heap
 // must be quiescent (stop-the-world): sweep and staleness aging run under
 // this. fn must not allocate or free.
 func (h *Heap) ForEach(fn func(ObjectID, *Object)) {
-	h.mu.Lock()
-	next := h.next
-	h.mu.Unlock()
+	next := ObjectID(h.next.Load())
 	for id := ObjectID(1); id < next; id++ {
 		obj := h.slot(id)
 		if obj != nil && obj.size != 0 {
@@ -284,16 +377,12 @@ func (h *Heap) ForEach(fn func(ObjectID, *Object)) {
 	}
 }
 
-// MaxID returns the exclusive upper bound of object IDs ever allocated,
+// MaxID returns the exclusive upper bound of object IDs ever carved,
 // letting the sweeper shard the table across workers.
-func (h *Heap) MaxID() ObjectID {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.next
-}
+func (h *Heap) MaxID() ObjectID { return ObjectID(h.next.Load()) }
 
 // Lookup returns the object for an ID if it is currently allocated. The
-// sweeper uses this to shard iteration without holding the heap lock.
+// sweeper uses this to shard iteration without holding any heap lock.
 func (h *Heap) Lookup(id ObjectID) (*Object, bool) {
 	obj := h.slot(id)
 	if obj == nil || obj.size == 0 {

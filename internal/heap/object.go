@@ -28,6 +28,10 @@ type Object struct {
 	mark uint32
 	// flags holds miscellaneous state bits (offload residency).
 	flags uint32
+	// home is the allocator shard that owns this object's slot: Free returns
+	// the slot to this shard's free list and charges this shard's accounting,
+	// so an object is allocated and freed under the same shard lock.
+	home uint8
 	// size is the total simulated byte size (header + ref slots + scalar).
 	size uint64
 	// refs are the object's tagged reference words.

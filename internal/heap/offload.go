@@ -10,6 +10,11 @@ import (
 // The heap models that with a second byte account: an offloaded object
 // keeps its identity and references but its bytes count against the disk
 // budget instead of the heap limit. Accesses fault the object back in.
+//
+// All offload-state transitions (the residency flag plus the disk
+// counters) are serialized under diskMu, so a fault-in racing another
+// fault-in or an offload settles deterministically. The heap-side byte
+// movement goes through the shared atomic used counter.
 
 // ErrDiskFull is returned by Offload when the configured disk budget cannot
 // hold the object — the condition under which the paper says disk-based
@@ -56,15 +61,15 @@ type DiskStats struct {
 
 // SetDiskLimit configures the simulated disk budget (0 disables offload).
 func (h *Heap) SetDiskLimit(limit uint64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.diskMu.Lock()
+	defer h.diskMu.Unlock()
 	h.disk.Limit = limit
 }
 
 // Disk returns a snapshot of the offload accounting.
 func (h *Heap) Disk() DiskStats {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.diskMu.Lock()
+	defer h.diskMu.Unlock()
 	return h.disk
 }
 
@@ -72,23 +77,24 @@ func (h *Heap) Disk() DiskStats {
 // account. It fails with ErrDiskFull when the disk budget cannot hold it,
 // and is a no-op for already-offloaded objects.
 func (h *Heap) Offload(id ObjectID) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	obj := h.slot(id)
 	if obj == nil || obj.size == 0 {
 		panic("heap: offload of a dead object")
 	}
+	h.diskMu.Lock()
 	if obj.IsOffloaded() {
+		h.diskMu.Unlock()
 		return nil
 	}
 	if h.disk.BytesUsed+obj.size > h.disk.Limit {
+		h.diskMu.Unlock()
 		return ErrDiskFull
 	}
 	obj.setOffloaded(true)
-	h.stats.BytesUsed -= obj.size
-	h.usedAtomic.Store(h.stats.BytesUsed)
 	h.disk.BytesUsed += obj.size
 	h.disk.Offloads++
+	h.diskMu.Unlock()
+	h.creditBytes(obj.size)
 	return nil
 }
 
@@ -96,8 +102,6 @@ func (h *Heap) Offload(id ObjectID) error {
 // fails with ErrHeapFull when the heap cannot hold it (the caller collects
 // or offloads more and retries), and is a no-op for resident objects.
 func (h *Heap) FaultIn(id ObjectID) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	obj := h.slot(id)
 	if obj == nil || obj.size == 0 {
 		panic("heap: fault-in of a dead object")
@@ -105,30 +109,21 @@ func (h *Heap) FaultIn(id ObjectID) error {
 	if !obj.IsOffloaded() {
 		return nil
 	}
-	if h.stats.BytesUsed+obj.size > h.stats.Limit {
+	// Reserve the heap bytes first (no locks held), then settle the state
+	// transition under diskMu; if another fault-in won the race, give the
+	// reservation back.
+	if !h.reserveExact(obj.size) {
 		return ErrHeapFull
+	}
+	h.diskMu.Lock()
+	if !obj.IsOffloaded() {
+		h.diskMu.Unlock()
+		h.creditBytes(obj.size)
+		return nil
 	}
 	obj.setOffloaded(false)
 	h.disk.BytesUsed -= obj.size
-	h.stats.BytesUsed += obj.size
-	h.usedAtomic.Store(h.stats.BytesUsed)
 	h.disk.FaultIns++
+	h.diskMu.Unlock()
 	return nil
-}
-
-// freeAccountingLocked adjusts the right account when an object dies.
-func (h *Heap) freeAccountingLocked(obj *Object) {
-	if obj.IsOffloaded() {
-		h.disk.BytesUsed -= obj.size
-		obj.setOffloaded(false)
-		h.stats.ObjectsUsed--
-		h.stats.BytesFreed += obj.size
-		h.stats.ObjectsFreed++
-		return
-	}
-	h.stats.BytesUsed -= obj.size
-	h.usedAtomic.Store(h.stats.BytesUsed)
-	h.stats.ObjectsUsed--
-	h.stats.BytesFreed += obj.size
-	h.stats.ObjectsFreed++
 }

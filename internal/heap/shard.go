@@ -1,0 +1,199 @@
+package heap
+
+import (
+	"sync"
+)
+
+// Allocator sharding. The object table's free lists, nursery lists, and
+// accounting counters are split across numShards independently locked
+// shards so mutator threads and parallel sweep workers do not serialize on
+// one heap-wide mutex. The shared state that remains is two atomics: the
+// used-byte counter (charged against the limit) and the fresh-ID cursor.
+//
+// Slot ownership is sticky: the shard that hands out a slot records itself
+// in Object.home, and Free/FreeBatch return the slot to that shard's free
+// list and charge that shard's counters. This keeps per-shard accounting
+// monotone and — because a single-threaded allocate/free sequence keeps
+// hitting the same shard's LIFO free list — preserves the heap's
+// deterministic slot-recycling behavior (a freed ID is the next one
+// handed back out).
+const (
+	numShards = 16
+	shardMask = numShards - 1
+
+	// freshBlock is how many never-used object IDs a shard carves from the
+	// global cursor at a time when no free list has a slot to recycle.
+	freshBlock = 64
+
+	// maxTLABBytes caps an AllocContext's reserved byte quota.
+	maxTLABBytes = 8 << 10
+)
+
+type shard struct {
+	mu sync.Mutex
+	// free holds recyclable slot IDs, popped LIFO.
+	free []ObjectID
+	// young lists nursery members whose slots belong to this shard.
+	young []ObjectID
+
+	// Accounting for objects whose slots belong to this shard. An object is
+	// allocated and freed under the same shard lock (via Object.home), so
+	// these never underflow; Stats sums them across shards.
+	bytesAlloc   uint64
+	objectsAlloc uint64
+	bytesFreed   uint64
+	objectsFreed uint64
+	objectsUsed  uint64
+
+	_ [64]byte // keep neighboring shards off each other's cache line
+}
+
+// AllocContext is a TLAB-style per-thread allocation context: a preferred
+// shard plus a byte quota already reserved against the heap limit. With a
+// context the mutator fast path touches the shared used-byte counter only
+// when the quota runs out (roughly once per maxTLABBytes of allocation)
+// instead of once per object.
+//
+// A context must not be used from more than one goroutine at a time, and
+// its unused quota counts toward BytesUsed until ReleaseContext returns it
+// (the VM flushes every thread's context at each stop-the-world
+// collection, so post-GC fullness is exact).
+type AllocContext struct {
+	shard    uint32
+	reserved uint64
+}
+
+// Reserved returns the context's unused byte quota (for tests and
+// introspection).
+func (c *AllocContext) Reserved() uint64 { return c.reserved }
+
+// NewAllocContext returns an allocation context bound to the next shard in
+// round-robin order.
+func (h *Heap) NewAllocContext() AllocContext {
+	return AllocContext{shard: h.rotor.Add(1) & shardMask}
+}
+
+// ReleaseContext returns the context's unused byte quota to the heap. It is
+// idempotent; the context remains usable (its next allocation re-reserves).
+func (h *Heap) ReleaseContext(c *AllocContext) {
+	if c.reserved > 0 {
+		h.creditBytes(c.reserved)
+		c.reserved = 0
+	}
+}
+
+// creditBytes subtracts n from the shared used-byte counter.
+func (h *Heap) creditBytes(n uint64) {
+	if n != 0 {
+		h.used.Add(^(n - 1))
+	}
+}
+
+// tlabTarget is how many bytes beyond the immediate need a refill tries to
+// reserve: enough to amortize the shared-counter CAS, small enough not to
+// distort fullness on small heaps.
+func (h *Heap) tlabTarget() uint64 {
+	t := h.limit / 64
+	if t > maxTLABBytes {
+		t = maxTLABBytes
+	}
+	return t
+}
+
+// reserveExact charges exactly size bytes against the limit, or charges
+// nothing and returns false.
+func (h *Heap) reserveExact(size uint64) bool {
+	for {
+		cur := h.used.Load()
+		if cur+size > h.limit {
+			return false
+		}
+		if h.used.CompareAndSwap(cur, cur+size) {
+			return true
+		}
+	}
+}
+
+// refill tops up the context's quota so at least size bytes are reserved,
+// grabbing up to a TLAB's worth extra when the limit allows. It charges
+// nothing and returns false when even the immediate need does not fit.
+func (h *Heap) refill(c *AllocContext, size uint64) bool {
+	need := size - c.reserved
+	want := need + h.tlabTarget()
+	for {
+		cur := h.used.Load()
+		if cur+need > h.limit {
+			return false
+		}
+		grant := want
+		if cur+grant > h.limit {
+			grant = h.limit - cur
+		}
+		if h.used.CompareAndSwap(cur, cur+grant) {
+			c.reserved += grant
+			return true
+		}
+	}
+}
+
+// takeSlot pops a recyclable slot, preferring the given shard and scanning
+// the others before carving fresh IDs into the preferred shard. It returns
+// the yielding shard's index and keeps that shard's lock HELD so the
+// caller can initialize the object and its accounting atomically with the
+// slot claim.
+func (h *Heap) takeSlot(preferred uint32) (ObjectID, *Object, uint32) {
+	for i := uint32(0); i < numShards; i++ {
+		si := (preferred + i) & shardMask
+		s := &h.shards[si]
+		s.mu.Lock()
+		if n := len(s.free); n > 0 {
+			id := s.free[n-1]
+			s.free = s.free[:n-1]
+			return id, h.slot(id), si
+		}
+		s.mu.Unlock()
+	}
+	si := preferred & shardMask
+	s := &h.shards[si]
+	s.mu.Lock()
+	if len(s.free) == 0 { // re-check: a racing Free may have refilled it
+		h.carveLocked(s)
+	}
+	n := len(s.free)
+	id := s.free[n-1]
+	s.free = s.free[:n-1]
+	return id, h.slot(id), si
+}
+
+// carveLocked claims a block of fresh IDs from the global cursor and pushes
+// them onto s's free list in descending order, so LIFO pops hand them out
+// ascending. Caller holds s.mu.
+func (h *Heap) carveLocked(s *shard) {
+	base := h.next.Add(freshBlock) - freshBlock
+	if base+freshBlock > uint64(maxChunks)<<chunkShift {
+		panic("heap: object table exhausted")
+	}
+	h.ensureChunks(ObjectID(base), ObjectID(base+freshBlock-1))
+	for id := base + freshBlock - 1; ; id-- {
+		s.free = append(s.free, ObjectID(id))
+		if id == base {
+			break
+		}
+	}
+}
+
+// ensureChunks materializes every chunk covering [lo, hi]. Chunk creation
+// is rare (once per 16384 objects), so a plain mutex guards it; readers go
+// through the atomic chunk pointers and never take it.
+func (h *Heap) ensureChunks(lo, hi ObjectID) {
+	for ci := int(lo) >> chunkShift; ci <= int(hi)>>chunkShift; ci++ {
+		if h.chunks[ci].Load() != nil {
+			continue
+		}
+		h.chunkMu.Lock()
+		if h.chunks[ci].Load() == nil {
+			h.chunks[ci].Store(new(chunk))
+		}
+		h.chunkMu.Unlock()
+	}
+}

@@ -1,0 +1,203 @@
+package heap
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRecycledSlotStateCleared is the regression test for recycled-slot
+// hygiene: Free must clear flags and the stale counter (not just
+// size/class/refs), and the kept mark word must never make a recycled slot
+// appear already-marked to a later collection.
+func TestRecycledSlotStateCleared(t *testing.T) {
+	reg := NewRegistry()
+	cls := reg.Define("N", 2, 0)
+	h := New(reg, 1<<20)
+
+	r, err := h.Allocate(cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := r.ID()
+	obj := h.Get(r)
+	obj.SetStale(5)
+	obj.TryMark(9) // a past collection reached it
+	if !obj.TryLog() {
+		t.Fatal("TryLog on fresh object failed")
+	}
+	h.Free(id)
+
+	// The dead slot itself is clean (flags and stale are cleared by Free,
+	// not by a later Allocate happening to overwrite them).
+	slot := h.slot(id)
+	if got := atomic.LoadUint32(&slot.flags); got != 0 {
+		t.Fatalf("freed slot flags = %#x, want 0", got)
+	}
+	if slot.Stale() != 0 {
+		t.Fatalf("freed slot stale = %d, want 0", slot.Stale())
+	}
+
+	r2, err := h.Allocate(cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ID() != id {
+		t.Fatalf("slot not recycled: got %d, want %d", r2.ID(), id)
+	}
+	obj2 := h.Get(r2)
+	if obj2.Stale() != 0 {
+		t.Fatalf("recycled stale = %d", obj2.Stale())
+	}
+	if obj2.IsYoung() || obj2.IsOffloaded() {
+		t.Fatal("recycled object inherited flag bits")
+	}
+	if !obj2.TryLog() {
+		t.Fatal("recycled object still appears logged")
+	}
+	// Epochs only move forward, so the kept mark word (9) must not alias
+	// any future collection's epoch.
+	if obj2.Marked(10) {
+		t.Fatal("recycled slot appears marked at a later epoch")
+	}
+}
+
+// TestAllocContextTLAB checks the TLAB quota accounting: reservations are
+// visible in BytesUsed, allocation totals stay exact, and releasing the
+// context restores exactness.
+func TestAllocContextTLAB(t *testing.T) {
+	reg := NewRegistry()
+	cls := reg.Define("N", 1, 40) // 64 bytes each
+	h := New(reg, 1<<20)
+	size := ObjectSize(1, 40)
+
+	ctx := h.NewAllocContext()
+	const n = 10
+	for i := 0; i < n; i++ {
+		if _, err := h.AllocateCtx(&ctx, cls); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := h.Stats()
+	if st.BytesAlloc != n*size || st.ObjectsAlloc != n {
+		t.Fatalf("alloc totals: %+v", st)
+	}
+	if want := n*size + ctx.Reserved(); st.BytesUsed != want {
+		t.Fatalf("BytesUsed = %d, want live %d + reserved %d", st.BytesUsed, n*size, ctx.Reserved())
+	}
+
+	h.ReleaseContext(&ctx)
+	if ctx.Reserved() != 0 {
+		t.Fatalf("Reserved after release = %d", ctx.Reserved())
+	}
+	if got := h.BytesUsed(); got != n*size {
+		t.Fatalf("BytesUsed after release = %d, want %d", got, n*size)
+	}
+	h.ReleaseContext(&ctx) // idempotent
+	if got := h.BytesUsed(); got != n*size {
+		t.Fatalf("double release changed BytesUsed to %d", got)
+	}
+}
+
+// TestAllocContextHeapFull fills the heap through a context and checks that
+// a failed allocation charges nothing and that outstanding reservations
+// never push BytesUsed past the limit.
+func TestAllocContextHeapFull(t *testing.T) {
+	reg := NewRegistry()
+	cls := reg.Define("B", 0, 1000)
+	h := New(reg, 4000)
+	ctx := h.NewAllocContext()
+	allocs := 0
+	for {
+		_, err := h.AllocateCtx(&ctx, cls)
+		if err != nil {
+			if !errors.Is(err, ErrHeapFull) {
+				t.Fatal(err)
+			}
+			break
+		}
+		allocs++
+		if allocs > 10 {
+			t.Fatal("heap never filled")
+		}
+	}
+	if h.BytesUsed() > h.Limit() {
+		t.Fatalf("BytesUsed %d exceeds limit %d", h.BytesUsed(), h.Limit())
+	}
+	h.ReleaseContext(&ctx)
+	st := h.Stats()
+	if st.BytesAlloc-st.BytesFreed != st.BytesUsed {
+		t.Fatalf("accounting broken after exhaustion: %+v", st)
+	}
+	if st.ObjectsAlloc != uint64(allocs) {
+		t.Fatalf("ObjectsAlloc = %d, want %d", st.ObjectsAlloc, allocs)
+	}
+}
+
+// TestShardedAllocFreeParallel races context allocations against parallel
+// FreeBatch calls over disjoint dead sets (the sweep-worker pattern) and
+// checks the accounting invariant afterwards. Run with -race.
+func TestShardedAllocFreeParallel(t *testing.T) {
+	reg := NewRegistry()
+	cls := reg.Define("N", 2, 16)
+	h := New(reg, 1<<28)
+	const goroutines = 8
+	const perG = 4000
+
+	refs := make([][]Ref, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := h.NewAllocContext()
+			defer h.ReleaseContext(&ctx)
+			out := make([]Ref, 0, perG)
+			for i := 0; i < perG; i++ {
+				r, err := h.AllocateCtx(&ctx, cls)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				out = append(out, r)
+			}
+			refs[g] = out
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Free half of each goroutine's set from parallel "sweep workers".
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dead := make([]ObjectID, 0, perG/2)
+			for i := 0; i < perG; i += 2 {
+				dead = append(dead, refs[g][i].ID())
+			}
+			h.FreeBatch(dead)
+		}(g)
+	}
+	wg.Wait()
+
+	st := h.Stats()
+	const total = goroutines * perG
+	if st.ObjectsAlloc != total || st.ObjectsFreed != total/2 || st.ObjectsUsed != total/2 {
+		t.Fatalf("object counts: %+v", st)
+	}
+	if st.BytesAlloc-st.BytesFreed != st.BytesUsed {
+		t.Fatalf("byte invariant broken: %+v", st)
+	}
+	// Survivors are intact and dereferenceable.
+	for g := 0; g < goroutines; g++ {
+		for i := 1; i < perG; i += 2 {
+			if _, ok := h.Lookup(refs[g][i].ID()); !ok {
+				t.Fatalf("survivor %d lost", refs[g][i].ID())
+			}
+		}
+	}
+}

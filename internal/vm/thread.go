@@ -19,6 +19,12 @@ type Thread struct {
 	name   string
 	frames []*Frame
 	exited bool
+	// alloc is the thread's TLAB-style allocation context: a reserved byte
+	// quota plus a preferred heap shard, so the allocation fast path
+	// touches the shared used-byte counter only on refill. The VM returns
+	// unused quota at every stop-the-world collection (flushTLABs), and
+	// Exit returns it for good.
+	alloc heap.AllocContext
 }
 
 // Frame is one stack frame: a fixed number of reference slots that are GC
@@ -42,7 +48,7 @@ type Frame struct {
 // registered (their stacks remain roots) until Exit is called — which is
 // exactly how the Mckoi workload leaks thread stacks (§6).
 func (v *VM) NewThread(name string) *Thread {
-	t := &Thread{vm: v, name: name}
+	t := &Thread{vm: v, name: name, alloc: v.heap.NewAllocContext()}
 	v.threadMu.Lock()
 	v.threads[t] = struct{}{}
 	v.threadMu.Unlock()
@@ -78,6 +84,11 @@ func (t *Thread) Exit() {
 		return
 	}
 	t.exited = true
+	// Return the unused TLAB quota under the world read lock so the store
+	// cannot race a stop-the-world flush of the same context.
+	t.vm.world.RLock()
+	t.vm.heap.ReleaseContext(&t.alloc)
+	t.vm.world.RUnlock()
 	t.vm.threadMu.Lock()
 	delete(t.vm.threads, t)
 	t.vm.threadMu.Unlock()
@@ -164,7 +175,7 @@ func (t *Thread) New(class heap.ClassID, opts ...heap.AllocOption) heap.Ref {
 	v := t.vm
 	v.allocs.Add(1)
 	v.world.RLock()
-	ref, err := v.heap.Allocate(class, opts...)
+	ref, err := v.heap.AllocateCtx(&t.alloc, class, opts...)
 	if err == nil {
 		t.root(ref)
 		v.world.RUnlock()

@@ -340,7 +340,10 @@ func (v *VM) nurseryFull() bool {
 	if !v.opts.Generational {
 		return false
 	}
-	return v.heap.Stats().BytesAlloc-v.allocAtLastGC.Load() > v.opts.NurserySize
+	// AllocatedBytes is the lock-free cumulative-allocation counter the
+	// heap maintains in generational mode; this check runs on the
+	// allocation fast path, so it must not sum the shard counters.
+	return v.heap.AllocatedBytes()-v.allocAtLastGC.Load() > v.opts.NurserySize
 }
 
 // maybeMinorCollect runs a nursery collection if the nursery is full.
@@ -361,8 +364,20 @@ func (v *VM) maybeMinorCollect() {
 	v.allocAtLastGC.Store(v.heap.Stats().BytesAlloc)
 }
 
+// flushTLABs returns every thread's unused allocation reservation to the
+// heap, making BytesUsed exact for the collection about to run. Caller
+// holds the world write lock (stop-the-world), so no context is in use.
+func (v *VM) flushTLABs() {
+	v.threadMu.Lock()
+	for t := range v.threads {
+		v.heap.ReleaseContext(&t.alloc)
+	}
+	v.threadMu.Unlock()
+}
+
 // collectLocked runs one collection cycle. Caller holds the world lock.
 func (v *VM) collectLocked() gc.Result {
+	v.flushTLABs()
 	plan := v.ctrl.PlanCycle()
 	// Stale counters measure program time, not collector invocations: a
 	// collection that ran with no allocation since the previous one (a
@@ -492,11 +507,11 @@ func (v *VM) allocSlow(t *Thread, class heap.ClassID, opts []heap.AllocOption, s
 	fruitless := 0
 	prevState := v.ctrl.State()
 	for i := 0; i < absoluteGCBound; i++ {
-		if ref, err := v.heap.Allocate(class, opts...); err == nil {
+		if ref, err := v.heap.AllocateCtx(&t.alloc, class, opts...); err == nil {
 			return t.root(ref)
 		}
 		res := v.collectLocked()
-		if ref, err := v.heap.Allocate(class, opts...); err == nil {
+		if ref, err := v.heap.AllocateCtx(&t.alloc, class, opts...); err == nil {
 			return t.root(ref)
 		}
 		progressed := res.BytesFreed > 0 || res.PrunedRefs > 0 || v.lastOffloaded > 0 || v.ctrl.State() != prevState
