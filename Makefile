@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke bench-phases
+.PHONY: all build test race vet bench-smoke bench-phases chaos chaos-smoke
 
 all: build test vet
 
@@ -10,9 +10,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrent collector and allocator packages.
+# Race-detector pass over the concurrent collector, allocator, runtime
+# facade, and fault-injection packages.
 race:
-	$(GO) test -race ./internal/gc/... ./internal/heap/...
+	$(GO) test -race ./internal/gc/... ./internal/heap/... ./internal/vm/... \
+		./internal/edgetable/... ./internal/offload/... ./internal/faultinject/...
 
 vet:
 	$(GO) vet ./...
@@ -25,3 +27,12 @@ bench-smoke:
 # Refresh the per-phase baseline JSON.
 bench-phases:
 	$(GO) run ./cmd/phasebench -o BENCH_gc_phases.json
+
+# Full fault-injection campaign: 20 seeds x fault matrix x micro-leak
+# workloads, invariant audit after every collection.
+chaos:
+	$(GO) run ./cmd/chaos -seeds 20 -o results/CHAOS_report.json
+
+# Quick CI-sized slice of the campaign.
+chaos-smoke:
+	$(GO) run ./cmd/chaos -seeds 3 -iters 800 -o results/CHAOS_report.json

@@ -17,11 +17,11 @@
 package edgetable
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"leakpruning/internal/faultinject"
 	"leakpruning/internal/heap"
 )
 
@@ -62,6 +62,16 @@ type Table struct {
 	mu    sync.Mutex // serializes inserts only (rare; §4.5)
 	slots []Entry
 	count atomic.Uint64
+
+	// overflows counts insertions dropped because the table was full (or an
+	// injected overflow); the affected updates degrade to no-ops instead of
+	// crashing the collection that observed the new edge type.
+	overflows atomic.Uint64
+	// scratch absorbs updates aimed at entries that could not be inserted.
+	// It is never reachable through lookup, so its contents are inert.
+	scratch Entry
+
+	inj *faultinject.Injector
 }
 
 // New creates a table with the given number of slots (rounded up to a power
@@ -80,6 +90,15 @@ func New(n int) *Table {
 // Len returns the number of occupied entries — the paper's "edge types"
 // column in Table 2 (the table never shrinks).
 func (t *Table) Len() int { return int(t.count.Load()) }
+
+// Overflows returns how many edge-type insertions were dropped because the
+// table was full.
+func (t *Table) Overflows() uint64 { return t.overflows.Load() }
+
+// SetFaultInjector arms the EdgeTableOverflow injection point: an injected
+// fire makes the next insertion behave as if the table were full, driving
+// the dropped-update degradation path without filling 16K slots.
+func (t *Table) SetFaultInjector(inj *faultinject.Injector) { t.inj = inj }
 
 // Cap returns the slot count.
 func (t *Table) Cap() int { return len(t.slots) }
@@ -115,14 +134,19 @@ func (t *Table) Get(src, tgt heap.ClassID) (*Entry, bool) {
 // GetOrInsert returns the entry for k, creating it if needed. Insertion
 // takes the global table lock; lookups of existing entries are lock-free,
 // matching the paper's observation that new edge types are rare. When the
-// table is full the key's canonical entry is returned via open addressing
-// wraparound failure — the table panics instead, since the paper treats the
-// fixed size as ample (16K slots versus a few thousand edge types for
-// Eclipse).
+// table is full (the paper treats 16K slots as ample, but a pathological
+// class population — or an injected fault — can exhaust it), the insertion
+// is dropped: the overflow counter advances and the caller's update lands
+// on an inert scratch entry. Losing an edge-type record only makes pruning
+// more conservative, so degrading beats aborting the collection.
 func (t *Table) GetOrInsert(src, tgt heap.ClassID) *Entry {
 	k := Key{src, tgt}
 	if e := t.lookup(k); e != nil {
 		return e
+	}
+	if t.inj.Should(faultinject.EdgeTableOverflow) {
+		t.overflows.Add(1)
+		return &t.scratch
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -139,7 +163,8 @@ func (t *Table) GetOrInsert(src, tgt heap.ClassID) *Entry {
 			return e
 		}
 	}
-	panic(fmt.Sprintf("edgetable: table full (%d slots)", len(t.slots)))
+	t.overflows.Add(1)
+	return &t.scratch
 }
 
 // MaxStaleUseFor returns the recorded maxStaleUse for the edge type, or 0

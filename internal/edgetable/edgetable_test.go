@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"leakpruning/internal/faultinject"
 	"leakpruning/internal/heap"
 )
 
@@ -125,15 +126,45 @@ func TestSnapshotsSorted(t *testing.T) {
 	}
 }
 
-func TestTableFullPanics(t *testing.T) {
+func TestTableFullDropsInsertions(t *testing.T) {
 	tbl := New(4) // rounds to 4 slots
-	defer func() {
-		if recover() == nil {
-			t.Fatal("inserting past capacity must panic")
-		}
-	}()
 	for i := 0; i < 10; i++ {
-		tbl.GetOrInsert(heap.ClassID(i+1), heap.ClassID(i+1))
+		if e := tbl.GetOrInsert(heap.ClassID(i+1), heap.ClassID(i+1)); e == nil {
+			t.Fatal("GetOrInsert returned nil")
+		}
+	}
+	if got := tbl.Overflows(); got != 6 {
+		t.Fatalf("Overflows = %d, want 6", got)
+	}
+	if tbl.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (full)", tbl.Len())
+	}
+	// Updates aimed at dropped entries are absorbed, not recorded: the
+	// overflowed edge type still reads as never-observed.
+	tbl.RecordUse(heap.ClassID(9), heap.ClassID(9), 5)
+	if got := tbl.MaxStaleUseFor(heap.ClassID(9), heap.ClassID(9)); got != 0 {
+		t.Fatalf("dropped edge type has MaxStaleUse %d, want 0", got)
+	}
+	// Existing entries keep working at capacity.
+	tbl.RecordUse(heap.ClassID(1), heap.ClassID(1), 4)
+	if got := tbl.MaxStaleUseFor(heap.ClassID(1), heap.ClassID(1)); got != 4 {
+		t.Fatalf("resident edge type has MaxStaleUse %d, want 4", got)
+	}
+}
+
+func TestInjectedEdgeTableOverflow(t *testing.T) {
+	inj := faultinject.New(5)
+	inj.Arm(faultinject.EdgeTableOverflow, 1.0)
+	inj.Limit(faultinject.EdgeTableOverflow, 1)
+	tbl := New(64)
+	tbl.SetFaultInjector(inj)
+	tbl.RecordUse(1, 2, 3) // insertion injected away
+	if tbl.Overflows() != 1 || tbl.Len() != 0 {
+		t.Fatalf("overflows=%d len=%d, want 1/0", tbl.Overflows(), tbl.Len())
+	}
+	tbl.RecordUse(1, 2, 3) // injector exhausted: insertion proceeds
+	if tbl.Len() != 1 || tbl.MaxStaleUseFor(1, 2) != 3 {
+		t.Fatalf("post-fault insert failed: len=%d stale=%d", tbl.Len(), tbl.MaxStaleUseFor(1, 2))
 	}
 }
 

@@ -1,0 +1,164 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var inj *Injector
+	if inj.Should(TraceWorkerPanic) {
+		t.Fatal("nil injector fired")
+	}
+	if inj.Enabled(FinalizerPanic) || inj.Fires(FinalizerPanic) != 0 || inj.TotalFires() != 0 {
+		t.Fatal("nil injector reports activity")
+	}
+	inj.Arm(FinalizerPanic, 1) // must not panic
+	inj.Limit(FinalizerPanic, 1)
+	if inj.Stats() != nil {
+		t.Fatal("nil injector has stats")
+	}
+}
+
+func TestDisarmedPointNeverFires(t *testing.T) {
+	inj := New(1)
+	for i := 0; i < 1000; i++ {
+		if inj.Should(AllocLimitRace) {
+			t.Fatal("disarmed point fired")
+		}
+	}
+	if inj.Draws(AllocLimitRace) != 0 {
+		t.Fatal("disarmed point consumed draws")
+	}
+}
+
+func TestAlwaysAndNever(t *testing.T) {
+	inj := New(7)
+	inj.Arm(FinalizerPanic, 1.0)
+	for i := 0; i < 100; i++ {
+		if !inj.Should(FinalizerPanic) {
+			t.Fatal("probability-1 point declined")
+		}
+	}
+	inj.Arm(FinalizerPanic, 0)
+	if inj.Should(FinalizerPanic) {
+		t.Fatal("disarmed point fired")
+	}
+	if got := inj.Fires(FinalizerPanic); got != 100 {
+		t.Fatalf("fires = %d, want 100", got)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	draw := func(seed uint64) []bool {
+		inj := New(seed)
+		inj.Arm(TraceWorkerPanic, 0.3)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = inj.Should(TraceWorkerPanic)
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed decision %d differs", i)
+		}
+	}
+	c := draw(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical decision streams")
+	}
+}
+
+func TestProbabilityRoughlyHonored(t *testing.T) {
+	inj := New(99)
+	inj.Arm(OffloadWriteFault, 0.25)
+	const n = 20000
+	fires := 0
+	for i := 0; i < n; i++ {
+		if inj.Should(OffloadWriteFault) {
+			fires++
+		}
+	}
+	frac := float64(fires) / n
+	if frac < 0.2 || frac > 0.3 {
+		t.Fatalf("p=0.25 fired at rate %.3f", frac)
+	}
+}
+
+func TestLimitCapsFires(t *testing.T) {
+	inj := New(5)
+	inj.Arm(TraceWorkerPanic, 1.0)
+	inj.Limit(TraceWorkerPanic, 3)
+	fires := 0
+	for i := 0; i < 50; i++ {
+		if inj.Should(TraceWorkerPanic) {
+			fires++
+		}
+	}
+	if fires != 3 {
+		t.Fatalf("limit 3 allowed %d fires", fires)
+	}
+	inj.Limit(TraceWorkerPanic, 0) // remove cap
+	if !inj.Should(TraceWorkerPanic) {
+		t.Fatal("uncapped point declined")
+	}
+}
+
+func TestConcurrentDraws(t *testing.T) {
+	inj := New(11)
+	inj.Arm(ShardFreeListCorruption, 0.5)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				inj.Should(ShardFreeListCorruption)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := inj.Draws(ShardFreeListCorruption); got != 8000 {
+		t.Fatalf("draws = %d, want 8000", got)
+	}
+	if f := inj.Fires(ShardFreeListCorruption); f == 0 || f >= 8000 {
+		t.Fatalf("fires = %d, want 0 < fires < 8000", f)
+	}
+}
+
+func TestPointNamesRoundTrip(t *testing.T) {
+	for p := Point(0); p < NumPoints; p++ {
+		got, ok := PointByName(p.String())
+		if !ok || got != p {
+			t.Fatalf("PointByName(%q) = %v, %v", p.String(), got, ok)
+		}
+	}
+	if _, ok := PointByName("no-such-point"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	if len(PointNames()) != int(NumPoints) {
+		t.Fatal("PointNames length mismatch")
+	}
+}
+
+func TestStatsListsExercisedPoints(t *testing.T) {
+	inj := New(3)
+	inj.Arm(FinalizerPanic, 1.0)
+	inj.Should(FinalizerPanic)
+	st := inj.Stats()
+	if len(st) != 1 || st[0].Point != FinalizerPanic.String() || st[0].Fires != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if inj.TotalFires() != 1 {
+		t.Fatalf("total fires = %d", inj.TotalFires())
+	}
+}

@@ -17,8 +17,10 @@ package gc
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"leakpruning/internal/faultinject"
 	"leakpruning/internal/heap"
 )
 
@@ -128,6 +130,15 @@ type Result struct {
 	MarkDuration  time.Duration
 	StaleDuration time.Duration
 	SweepDuration time.Duration
+
+	// Degraded reports that the parallel closure was abandoned (worker
+	// panic or watchdog deadline) and the collection completed via the
+	// serial fallback tracer. The live set is identical to a fault-free
+	// run; only the trace cost differs.
+	Degraded bool
+	// DegradeCause names why ("worker-panic" or "watchdog"); empty when
+	// not degraded.
+	DegradeCause string
 }
 
 // RootVisitor is implemented by the VM to expose its roots (thread stacks,
@@ -147,6 +158,19 @@ type Collector struct {
 	epoch      uint32
 	index      uint64
 	minorIndex uint64
+
+	// inj injects tracer faults into parallel closures (nil = disabled).
+	inj *faultinject.Injector
+	// watchdog is the STW deadline for the parallel closure; when it
+	// elapses, the trace is aborted and re-run serially instead of hanging
+	// (0 = no deadline).
+	watchdog time.Duration
+
+	// Degradation counters (see the accessors for semantics).
+	degradedTraces  atomic.Uint64
+	watchdogAborts  atomic.Uint64
+	recoveredPanics atomic.Uint64
+	lastPanicMsg    atomic.Value // string
 }
 
 // NewCollector creates a collector with the given parallelism (values < 1
@@ -165,8 +189,76 @@ func (c *Collector) Workers() int { return c.workers }
 // Index returns the number of full-heap collections performed so far.
 func (c *Collector) Index() uint64 { return c.index }
 
+// Epoch returns the mark epoch of the most recent collection. The invariant
+// auditor uses it: immediately after a collection, every live object's mark
+// word holds exactly this epoch.
+func (c *Collector) Epoch() uint32 { return c.epoch }
+
+// SetFaultInjector arms fault injection inside parallel trace closures
+// (worker panics, watchdog trips). The serial fallback is never injected.
+func (c *Collector) SetFaultInjector(inj *faultinject.Injector) { c.inj = inj }
+
+// SetWatchdog sets the stop-the-world deadline for parallel closures: if a
+// parallel trace has not terminated within d, it is aborted and the
+// collection re-runs with the serial tracer instead of hanging the world
+// (0 disables the deadline).
+func (c *Collector) SetWatchdog(d time.Duration) { c.watchdog = d }
+
+// DegradedTraces counts collections that completed via the serial fallback
+// tracer after the parallel closure was abandoned (for any cause).
+func (c *Collector) DegradedTraces() uint64 { return c.degradedTraces.Load() }
+
+// WatchdogAborts counts parallel closures abandoned because the STW
+// watchdog deadline fired (a subset of DegradedTraces).
+func (c *Collector) WatchdogAborts() uint64 { return c.watchdogAborts.Load() }
+
+// RecoveredPanics counts trace-worker panics recovered at the worker
+// goroutine boundary (a subset of DegradedTraces).
+func (c *Collector) RecoveredPanics() uint64 { return c.recoveredPanics.Load() }
+
+// LastTracePanic returns the most recent recovered worker panic message, or
+// "" if none has occurred.
+func (c *Collector) LastTracePanic() string {
+	if v := c.lastPanicMsg.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// runClosure performs one transitive closure attempt with the given
+// parallelism: roots are re-scanned (the world is stopped, so the root set
+// is stable across attempts), the closure runs to termination or abort, and
+// the tracer is returned along with its abort cause (abortNone on success).
+func (c *Collector) runClosure(plan Plan, workers int) (*tracer, uint32) {
+	tr := newTracer(c.heap, c.epoch, plan, workers)
+	if workers > 1 {
+		tr.inj = c.inj
+	}
+	c.roots.VisitRoots(func(r heap.Ref) {
+		if r.IsNull() {
+			return
+		}
+		tr.markRoot(r.Untagged())
+	})
+	var timer *time.Timer
+	if workers > 1 && c.watchdog > 0 {
+		timer = time.AfterFunc(c.watchdog, func() { tr.abort(abortWatchdog) })
+	}
+	tr.run()
+	if timer != nil {
+		timer.Stop()
+	}
+	return tr, tr.abortWhy.Load()
+}
+
 // Collect runs one stop-the-world collection cycle under the given plan.
 // The caller must have stopped all mutator threads.
+//
+// Collect never lets a parallel-tracer fault escape: a worker panic or a
+// watchdog-aborted closure is recovered, the partial marks are invalidated
+// by moving to a fresh epoch, and the closure transparently re-runs with
+// the serial tracer. The resulting live set is byte-identical to a
+// fault-free run; Result.Degraded records that the fallback was taken.
 func (c *Collector) Collect(plan Plan) Result {
 	start := time.Now()
 	c.epoch++
@@ -174,15 +266,33 @@ func (c *Collector) Collect(plan Plan) Result {
 	res := Result{Mode: plan.Mode, Epoch: c.epoch, Index: c.index}
 
 	// Phase 1: the (in-use) transitive closure from the roots.
-	tr := newTracer(c.heap, c.epoch, plan, c.workers)
 	markStart := time.Now()
-	c.roots.VisitRoots(func(r heap.Ref) {
-		if r.IsNull() {
-			return
+	tr, cause := c.runClosure(plan, c.workers)
+	if cause != abortNone {
+		c.degradedTraces.Add(1)
+		switch cause {
+		case abortPanic:
+			c.recoveredPanics.Add(1)
+			if msg := tr.lastPanic.Load(); msg != nil {
+				c.lastPanicMsg.Store(msg)
+			}
+			res.DegradeCause = "worker-panic"
+		case abortWatchdog:
+			c.watchdogAborts.Add(1)
+			res.DegradeCause = "watchdog"
 		}
-		tr.markRoot(r.Untagged())
-	})
-	tr.run()
+		res.Degraded = true
+		// Invalidate the aborted closure's partial marks: epochs only move
+		// forward, so bumping the epoch makes them unreachable history.
+		// References the aborted closure already poisoned stay poisoned —
+		// the policy would have poisoned them anyway and the re-run skips
+		// them — so their count is carried over.
+		carriedPruned := tr.prunedRefs
+		c.epoch++
+		res.Epoch = c.epoch
+		tr, _ = c.runClosure(plan, 1)
+		tr.prunedRefs += carriedPruned
+	}
 	res.MarkDuration = time.Since(markStart)
 
 	// Phase 2 (SELECT only): the stale closure from the candidate queue.

@@ -1,10 +1,12 @@
 package gc
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"leakpruning/internal/faultinject"
 	"leakpruning/internal/heap"
 )
 
@@ -39,6 +41,19 @@ const (
 // per-worker Chase–Lev deques: owners push and pop their own deque without
 // locks, idle workers steal batches with a CAS, and termination is
 // detected with an atomic idle counter.
+// Abort causes, recorded when a parallel closure is cut short. The
+// collector maps them to its degradation counters and re-runs the closure
+// with the serial tracer.
+const (
+	abortNone uint32 = iota
+	// abortPanic: a trace worker panicked (injected or real) and was
+	// recovered at its goroutine boundary.
+	abortPanic
+	// abortWatchdog: the STW watchdog deadline fired (or was injected)
+	// before the parallel closure terminated.
+	abortWatchdog
+)
+
 type tracer struct {
 	heap  *heap.Heap
 	epoch uint32
@@ -49,6 +64,18 @@ type tracer struct {
 	// len(workers) with every deque empty, the closure is complete.
 	idle atomic.Int32
 
+	// aborted flips when the parallel closure must be abandoned (worker
+	// panic or watchdog); workers poll it and drain out promptly. The
+	// partial marks left behind are invalidated by the collector moving to
+	// a fresh epoch before the serial re-run.
+	aborted   atomic.Bool
+	abortWhy  atomic.Uint32 // first abort cause wins (abortPanic/abortWatchdog)
+	lastPanic atomic.Value  // string: the recovered panic, for diagnostics
+
+	// inj injects worker faults; armed only while tracing in parallel (the
+	// serial fallback must be reliable, so it is never injected).
+	inj *faultinject.Injector
+
 	// roots accumulates root IDs during the serial markRoot phase; run()
 	// deals them out to the worker deques.
 	roots []heap.ObjectID
@@ -56,6 +83,20 @@ type tracer struct {
 	// Merged after run() from the per-worker buffers.
 	candidates []candidate
 	prunedRefs int64
+}
+
+// abort requests that every worker drain out; the first cause is kept.
+func (t *tracer) abort(why uint32) {
+	t.abortWhy.CompareAndSwap(abortNone, why)
+	t.aborted.Store(true)
+}
+
+// recordPanic recovers one worker's panic: the closure is aborted and the
+// panic value kept for diagnostics. This is the boundary that keeps an
+// injected (or real) worker fault from escaping the VM API as a raw panic.
+func (t *tracer) recordPanic(v any) {
+	t.lastPanic.Store(fmt.Sprint(v))
+	t.abort(abortPanic)
 }
 
 // traceWorker is one tracer worker's private state: its deque, local mark
@@ -114,6 +155,9 @@ func (t *tracer) run() {
 	}
 
 	if n == 1 {
+		// The serial tracer runs on the calling goroutine with no recovery:
+		// it is the fallback of last resort, so a panic here is a genuine
+		// runtime bug that must crash loudly.
 		t.workers[0].run()
 	} else {
 		var wg sync.WaitGroup
@@ -121,6 +165,11 @@ func (t *tracer) run() {
 			wg.Add(1)
 			go func(w *traceWorker) {
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						t.recordPanic(r)
+					}
+				}()
 				w.run()
 			}(w)
 		}
@@ -128,8 +177,15 @@ func (t *tracer) run() {
 	}
 
 	for _, w := range t.workers {
-		t.candidates = append(t.candidates, w.candidates...)
+		// Poison side effects are kept even on abort (a poisoned slot stays
+		// poisoned; the re-run skips it), so prune counts always merge.
 		t.prunedRefs += w.pruned
+		if t.aborted.Load() {
+			// Candidate and StaleEdge buffers from an aborted closure are
+			// discarded: the serial re-run regenerates them from scratch.
+			continue
+		}
+		t.candidates = append(t.candidates, w.candidates...)
 		if t.plan.StaleEdge != nil {
 			for _, e := range w.staleEdges {
 				t.plan.StaleEdge(e.src, e.tgt, e.stale, e.bytes)
@@ -138,12 +194,21 @@ func (t *tracer) run() {
 	}
 }
 
+// abortCheckMask throttles the abort-flag poll in the scan loop to one
+// atomic load every 64 objects, keeping the hot path unpolluted while still
+// bounding how much work a worker does after an abort.
+const abortCheckMask = 63
+
 // run is one worker's loop: drain the local stack, then the own deque,
-// then steal — or detect termination.
+// then steal — or detect termination (or an abort).
 func (w *traceWorker) run() {
 	t := w.t
+	scanned := 0
 	for {
 		for len(w.local) > 0 {
+			if scanned++; scanned&abortCheckMask == 0 && t.aborted.Load() {
+				return
+			}
 			n := len(w.local) - 1
 			id := w.local[n]
 			w.local = w.local[:n]
@@ -151,6 +216,9 @@ func (w *traceWorker) run() {
 			for len(w.local) >= spillAt {
 				w.spill()
 			}
+		}
+		if t.aborted.Load() {
+			return
 		}
 		if b := w.deque.pop(); b != nil {
 			w.local = append(w.local, b.ids...)
@@ -190,9 +258,14 @@ func (w *traceWorker) acquire() bool {
 		}
 		// Nothing stolen: announce idleness, then either retract (work is
 		// still queued somewhere — e.g. a steal lost a CAS race) or
-		// terminate once every worker is idle.
+		// terminate once every worker is idle. An abort also terminates:
+		// a panicked worker never reaches the idle barrier, so without this
+		// check the surviving workers would spin here forever.
 		t.idle.Add(1)
 		for {
+			if t.aborted.Load() {
+				return false
+			}
 			if t.anyQueued() {
 				t.idle.Add(-1)
 				break // rescan the deques
@@ -222,6 +295,19 @@ func (t *tracer) anyQueued() bool {
 // private buffers instead of shared, locked state.
 func (w *traceWorker) scan(id heap.ObjectID) {
 	t := w.t
+	// Fault injection (parallel closures only — t.inj is nil for the serial
+	// fallback): a worker panic to exercise the recovery + serial-re-run
+	// path, or a watchdog trip to exercise the downgrade path without
+	// depending on wall-clock timing.
+	if t.inj != nil {
+		if t.inj.Should(faultinject.TraceWorkerPanic) {
+			panic(fmt.Sprintf("faultinject: trace worker %d panic at object %d", w.id, id))
+		}
+		if t.inj.Should(faultinject.TraceWatchdogTrip) {
+			t.abort(abortWatchdog)
+			return
+		}
+	}
 	obj, ok := t.heap.Lookup(id)
 	if !ok {
 		return

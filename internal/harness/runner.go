@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"leakpruning/internal/core"
+	"leakpruning/internal/faultinject"
 	"leakpruning/internal/heap"
 	"leakpruning/internal/offload"
 	"leakpruning/internal/vm"
@@ -34,6 +35,9 @@ const (
 	EndTimeCap EndReason = "time-cap"
 	// EndCompleted: the program finished naturally (Delaunay).
 	EndCompleted EndReason = "completed"
+	// EndOffloadFault: a melt run's simulated disk failed a fault-in read
+	// past the retry budget (only reachable with fault injection armed).
+	EndOffloadFault EndReason = "offload-io-failure"
 )
 
 // GCSample is one point of the reachable-memory series: taken at the end of
@@ -80,6 +84,14 @@ type Config struct {
 	Generational bool
 	// RecordIterTimes keeps the per-iteration duration series.
 	RecordIterTimes bool
+	// Injector arms deterministic fault injection for the run (nil = off).
+	Injector *faultinject.Injector
+	// AuditEveryGC runs the full heap invariant audit inside every
+	// collection's stop-the-world section (the chaos campaign's oracle).
+	AuditEveryGC bool
+	// STWWatchdog bounds a parallel trace closure before the collection
+	// degrades to the serial tracer (0 = no deadline).
+	STWWatchdog time.Duration
 	// Verbose streams prune/OOM events to fn as they happen.
 	Verbose func(format string, args ...any)
 }
@@ -106,6 +118,9 @@ type Result struct {
 	Prunes     []core.PruneEvent
 	EdgeTypes  int
 	FinalState core.State
+	// AuditReport is the last invariant audit's violation list (nil if no
+	// audit ran; empty means the final audit was clean).
+	AuditReport []string
 }
 
 // Ratio returns this run's iterations relative to base's (Table 1/2's
@@ -168,6 +183,9 @@ func Run(cfg Config) (Result, error) {
 		EnableBarriers: !cfg.BarriersOff,
 		FullHeapOnly:   cfg.FullHeapOnly,
 		GCWorkers:      cfg.GCWorkers,
+		FaultInjector:  cfg.Injector,
+		AuditEveryGC:   cfg.AuditEveryGC,
+		STWWatchdog:    cfg.STWWatchdog,
 	}
 	opts.Generational = cfg.Generational
 	if melt {
@@ -253,6 +271,8 @@ func Run(cfg Config) (Result, error) {
 			res.Reason = EndPoisonTrap
 		case vmerrors.IsOOM(runErr):
 			res.Reason = EndOOM
+		case vmerrors.IsOffload(runErr):
+			res.Reason = EndOffloadFault
 		default:
 			return res, fmt.Errorf("harness: unexpected error from %s: %w", prog.Name(), runErr)
 		}
@@ -263,6 +283,7 @@ func Run(cfg Config) (Result, error) {
 	res.Prunes = machine.PruneEvents()
 	res.EdgeTypes = machine.EdgeTable().Len()
 	res.FinalState = machine.State()
+	res.AuditReport = machine.LastAudit()
 	return res, nil
 }
 

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"leakpruning/internal/faultinject"
 )
 
 const (
@@ -32,6 +34,10 @@ type Stats struct {
 	ObjectsAlloc uint64 // cumulative objects ever allocated
 	BytesFreed   uint64 // cumulative bytes freed by the sweeper
 	ObjectsFreed uint64 // cumulative objects freed by the sweeper
+	// FreeListRepairs counts free-list entries the allocator discarded
+	// because they named a live or duplicate slot — corruption (injected or
+	// real) that was detected and repaired instead of handed out twice.
+	FreeListRepairs uint64
 }
 
 // Fullness returns BytesUsed/Limit, the quantity that drives the leak
@@ -87,6 +93,13 @@ type Heap struct {
 	// Lock order: shard.mu before diskMu.
 	diskMu sync.Mutex
 	disk   DiskStats
+
+	// inj is the optional fault injector consulted at the allocator's
+	// failure points (nil injects nothing).
+	inj *faultinject.Injector
+	// freeListRepairs counts corrupt free-list entries detected and
+	// discarded (see Stats.FreeListRepairs).
+	freeListRepairs atomic.Uint64
 }
 
 // New creates a heap with the given byte limit and class registry.
@@ -104,6 +117,15 @@ func New(classes *Registry, limit uint64) *Heap {
 
 // Classes returns the heap's class registry.
 func (h *Heap) Classes() *Registry { return h.classes }
+
+// SetFaultInjector wires a fault injector into the allocator's injection
+// points (allocation limit races, free-list corruption). Call before any
+// allocation; nil disables injection.
+func (h *Heap) SetFaultInjector(inj *faultinject.Injector) { h.inj = inj }
+
+// FreeListRepairs returns how many corrupt free-list entries have been
+// detected and repaired.
+func (h *Heap) FreeListRepairs() uint64 { return h.freeListRepairs.Load() }
 
 // EnableGenerations turns on nursery tracking: subsequently allocated
 // objects are young until they survive a collection.
@@ -148,7 +170,7 @@ func (h *Heap) AllocatedBytes() uint64 { return h.allocBytes.Load() }
 // Stats returns a snapshot of the accounting counters, summed across
 // shards.
 func (h *Heap) Stats() Stats {
-	st := Stats{Limit: h.limit, BytesUsed: h.used.Load()}
+	st := Stats{Limit: h.limit, BytesUsed: h.used.Load(), FreeListRepairs: h.freeListRepairs.Load()}
 	for i := range h.shards {
 		s := &h.shards[i]
 		s.mu.Lock()
@@ -211,6 +233,14 @@ func (h *Heap) allocate(ctx *AllocContext, class ClassID, opts []AllocOption) (R
 		panic(fmt.Sprintf("heap: negative allocation shape for %s", c.Name))
 	}
 	size := ObjectSize(shape.refSlots, shape.scalarBytes)
+
+	// Injected allocation-time limit race: behave as if a racing thread
+	// consumed the remaining headroom between the caller's check and our
+	// reservation. The VM's slow path reacts exactly as it would to the
+	// real race — collect and retry.
+	if h.inj.Should(faultinject.AllocLimitRace) {
+		return Null, ErrHeapFull
+	}
 
 	var preferred uint32
 	if ctx != nil {
@@ -298,6 +328,7 @@ func (h *Heap) Free(id ObjectID) {
 		panic(fmt.Sprintf("heap: double free of object %d", id))
 	}
 	credit := h.freeLocked(s, id, obj)
+	h.maybeCorruptFreeListLocked(s)
 	s.mu.Unlock()
 	h.creditBytes(credit)
 }
@@ -333,9 +364,57 @@ func (h *Heap) FreeBatch(ids []ObjectID) {
 			}
 			credit += h.freeLocked(s, id, obj)
 		}
+		h.maybeCorruptFreeListLocked(s)
 		s.mu.Unlock()
 	}
 	h.creditBytes(credit)
+}
+
+// maybeCorruptFreeListLocked is the shard free-list corruption probe: when
+// the injector fires, it plants a duplicate entry in s's free list and then
+// runs the integrity scan, which must detect and repair the corruption under
+// the same lock hold (so the damage is never observable outside it). The
+// scan is real detection code — if it ever finds corruption that was NOT
+// injected, that too is repaired and counted. Caller holds s.mu.
+func (h *Heap) maybeCorruptFreeListLocked(s *shard) {
+	if !h.inj.Enabled(faultinject.ShardFreeListCorruption) {
+		return
+	}
+	if len(s.free) == 0 || !h.inj.Should(faultinject.ShardFreeListCorruption) {
+		return
+	}
+	s.free = append(s.free, s.free[len(s.free)-1])
+	if h.probeFreeListLocked(s) == 0 {
+		panic("heap: free-list probe missed an injected duplicate entry")
+	}
+}
+
+// probeFreeListLocked verifies s's free list: every entry must name a dead,
+// materialized slot, each at most once. Violating entries are discarded
+// (repair) and counted in FreeListRepairs. It returns how many entries were
+// repaired. Caller holds s.mu.
+func (h *Heap) probeFreeListLocked(s *shard) int {
+	seen := make(map[ObjectID]struct{}, len(s.free))
+	repaired := 0
+	out := s.free[:0]
+	for _, id := range s.free {
+		obj := h.slot(id)
+		if obj == nil || obj.size != 0 {
+			repaired++
+			continue
+		}
+		if _, dup := seen[id]; dup {
+			repaired++
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	s.free = out
+	if repaired > 0 {
+		h.freeListRepairs.Add(uint64(repaired))
+	}
+	return repaired
 }
 
 // freeLocked releases obj (slot id) into shard s, clearing its header so a

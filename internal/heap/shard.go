@@ -146,9 +146,7 @@ func (h *Heap) takeSlot(preferred uint32) (ObjectID, *Object, uint32) {
 		si := (preferred + i) & shardMask
 		s := &h.shards[si]
 		s.mu.Lock()
-		if n := len(s.free); n > 0 {
-			id := s.free[n-1]
-			s.free = s.free[:n-1]
+		if id, ok := h.popFreeLocked(s); ok {
 			return id, h.slot(id), si
 		}
 		s.mu.Unlock()
@@ -156,13 +154,32 @@ func (h *Heap) takeSlot(preferred uint32) (ObjectID, *Object, uint32) {
 	si := preferred & shardMask
 	s := &h.shards[si]
 	s.mu.Lock()
-	if len(s.free) == 0 { // re-check: a racing Free may have refilled it
+	for {
+		if id, ok := h.popFreeLocked(s); ok { // re-check: a racing Free may have refilled it
+			return id, h.slot(id), si
+		}
 		h.carveLocked(s)
 	}
-	n := len(s.free)
-	id := s.free[n-1]
-	s.free = s.free[:n-1]
-	return id, h.slot(id), si
+}
+
+// popFreeLocked pops the shard's next recyclable slot, discarding (and
+// counting) corrupt entries that name a live or unmaterialized slot — the
+// last line of defense against handing the same slot to two allocations.
+// Caller holds s.mu.
+func (h *Heap) popFreeLocked(s *shard) (ObjectID, bool) {
+	for {
+		n := len(s.free)
+		if n == 0 {
+			return 0, false
+		}
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		if obj := h.slot(id); obj == nil || obj.size != 0 {
+			h.freeListRepairs.Add(1)
+			continue
+		}
+		return id, true
+	}
 }
 
 // carveLocked claims a block of fresh IDs from the global cursor and pushes

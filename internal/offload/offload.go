@@ -12,6 +12,11 @@
 package offload
 
 import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"leakpruning/internal/faultinject"
 	"leakpruning/internal/heap"
 )
 
@@ -54,13 +59,44 @@ type Stats struct {
 	DiskFullHits  uint64 // offload attempts rejected by the disk budget
 	BytesFaultIn  uint64 // cumulative bytes moved back by accesses
 	ObjectsFaults uint64
+
+	// Degradation counters for simulated disk I/O failures.
+	WriteFaults uint64 // individual failed write attempts
+	WriteRetries uint64 // failed writes retried with backoff
+	KeptInHeap  uint64 // objects left resident after write retries ran out
+	ReadFaults  uint64 // individual failed read attempts
+	ReadRetries uint64 // failed reads retried with backoff
+	ReadAborts  uint64 // fault-ins abandoned after read retries ran out
 }
 
-// Controller owns the offload policy for one heap. It is driven by the VM
-// inside stop-the-world sections; fault-ins are counted through RecordFault.
+// Disk I/O retry policy: a failed read or write is retried with capped
+// exponential backoff. The backoff is real (time.Sleep) but microsecond-
+// scale, so injected fault storms stay cheap in tests while still modeling
+// the retry latency a real runtime would pay.
+const (
+	maxIOAttempts  = 4
+	backoffInitial = time.Microsecond
+	backoffCap     = 64 * time.Microsecond
+)
+
+// errWriteFailed is the internal sentinel for a write whose retries ran
+// out; AfterGC converts it into the keep-in-heap fallback.
+var errWriteFailed = errors.New("offload: simulated disk write failed")
+
+// Controller owns the offload policy for one heap. Offload passes run
+// inside stop-the-world sections (plain counters); fault-ins run on the
+// mutator path where threads interleave, so the read-side counters are
+// atomics folded into the Stats snapshot.
 type Controller struct {
 	cfg   Config
 	stats Stats
+	inj   *faultinject.Injector
+
+	objectsFaults atomic.Uint64
+	bytesFaultIn  atomic.Uint64
+	readFaults    atomic.Uint64
+	readRetries   atomic.Uint64
+	readAborts    atomic.Uint64
 }
 
 // New creates an offload controller.
@@ -68,11 +104,23 @@ func New(cfg Config) *Controller {
 	return &Controller{cfg: cfg.withDefaults()}
 }
 
+// SetFaultInjector arms the OffloadWriteFault / OffloadReadFault injection
+// points on this controller's simulated disk.
+func (c *Controller) SetFaultInjector(inj *faultinject.Injector) { c.inj = inj }
+
 // Config returns the effective configuration.
 func (c *Controller) Config() Config { return c.cfg }
 
 // Stats returns activity counters.
-func (c *Controller) Stats() Stats { return c.stats }
+func (c *Controller) Stats() Stats {
+	s := c.stats
+	s.ObjectsFaults = c.objectsFaults.Load()
+	s.BytesFaultIn = c.bytesFaultIn.Load()
+	s.ReadFaults = c.readFaults.Load()
+	s.ReadRetries = c.readRetries.Load()
+	s.ReadAborts = c.readAborts.Load()
+	return s
+}
 
 // AfterGC runs one offload pass if the heap is still nearly full after a
 // collection. It moves live objects out stalest-first (level 7 down to
@@ -94,13 +142,18 @@ func (c *Controller) AfterGC(h *heap.Heap) uint64 {
 			if h.Stats().BytesUsed <= target {
 				return
 			}
-			switch err := h.Offload(id); err {
+			switch err := c.writeOut(h, id); err {
 			case nil:
 				moved += obj.Size()
 				c.stats.ObjectsMoved++
 			case heap.ErrDiskFull:
 				c.stats.DiskFullHits++
 				diskFull = true
+			case errWriteFailed:
+				// Keep-in-heap fallback: the object stays resident and the
+				// pass moves on. Nothing is lost — the next nearly-full
+				// collection will try it again.
+				c.stats.KeptInHeap++
 			}
 		})
 		if h.Stats().BytesUsed <= target {
@@ -117,8 +170,56 @@ func (c *Controller) AfterGC(h *heap.Heap) uint64 {
 	return moved
 }
 
+// writeOut performs one object's disk write, retrying injected write
+// faults with capped exponential backoff before giving up with
+// errWriteFailed. The real Offload call runs only once the simulated
+// device stops faulting, so heap and disk accounting never see a partial
+// write.
+func (c *Controller) writeOut(h *heap.Heap, id heap.ObjectID) error {
+	backoff := backoffInitial
+	for attempt := 1; ; attempt++ {
+		if !c.inj.Should(faultinject.OffloadWriteFault) {
+			return h.Offload(id)
+		}
+		c.stats.WriteFaults++
+		if attempt == maxIOAttempts {
+			return errWriteFailed
+		}
+		c.stats.WriteRetries++
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > backoffCap {
+			backoff = backoffCap
+		}
+	}
+}
+
+// PrepareFaultIn simulates the disk read that precedes a fault-in,
+// retrying injected read faults with the same capped backoff as writes.
+// It returns the number of attempts consumed and whether the read
+// ultimately succeeded; on failure the caller must surface a typed error —
+// unlike writes, a failed read has no fallback, because the object's bytes
+// exist only on disk.
+func (c *Controller) PrepareFaultIn() (attempts int, ok bool) {
+	backoff := backoffInitial
+	for attempt := 1; ; attempt++ {
+		if !c.inj.Should(faultinject.OffloadReadFault) {
+			return attempt, true
+		}
+		c.readFaults.Add(1)
+		if attempt == maxIOAttempts {
+			c.readAborts.Add(1)
+			return attempt, false
+		}
+		c.readRetries.Add(1)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > backoffCap {
+			backoff = backoffCap
+		}
+	}
+}
+
 // RecordFault accounts one fault-in of size bytes.
 func (c *Controller) RecordFault(size uint64) {
-	c.stats.ObjectsFaults++
-	c.stats.BytesFaultIn += size
+	c.objectsFaults.Add(1)
+	c.bytesFaultIn.Add(size)
 }

@@ -8,9 +8,12 @@ package vm
 import (
 	"fmt"
 	"io"
+	"math"
 	"runtime"
+	"time"
 
 	"leakpruning/internal/core"
+	"leakpruning/internal/faultinject"
 	"leakpruning/internal/vmerrors"
 )
 
@@ -114,6 +117,49 @@ type Options struct {
 	// OnOOM receives the out-of-memory warning issued the first time the
 	// program exhausts memory (§3.2).
 	OnOOM func(*vmerrors.OutOfMemoryError)
+
+	// FaultInjector arms deterministic fault injection across the VM's
+	// subsystems (trace workers, allocator, finalizers, edge table, offload
+	// disk). Nil disables every injection point at zero cost.
+	FaultInjector *faultinject.Injector
+
+	// AuditEveryGC runs the full heap invariant audit (vm.Verify) inside
+	// every full-heap collection's stop-the-world section. Violations are
+	// counted in Stats and retained for LastAudit. Expensive (a full object
+	// table scan per collection); meant for the chaos campaign and tests.
+	AuditEveryGC bool
+
+	// STWWatchdog bounds how long a parallel trace closure may run before
+	// the collection abandons it and degrades to the serial tracer
+	// (0 disables the deadline).
+	STWWatchdog time.Duration
+}
+
+// OptionError reports an invalid Options field combination. It is the typed
+// error behind New's configuration panic, so tests (and embedders that call
+// validate through New with recover) can assert on the offending field
+// rather than matching message text.
+type OptionError struct {
+	// Option names the offending field (or field combination).
+	Option string
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("vm: invalid option %s: %s", e.Option, e.Reason)
+}
+
+// badFraction reports why f is unusable as a fraction option, or "" if it
+// is fine. Zero is always acceptable (it means "use the paper's default").
+func badFraction(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "is NaN"
+	case f < 0:
+		return fmt.Sprintf("is negative (%g)", f)
+	}
+	return ""
 }
 
 func (o Options) withDefaults() Options {
@@ -131,21 +177,54 @@ func (o Options) withDefaults() Options {
 
 func (o Options) validate() error {
 	if o.Policy != nil && !o.EnableBarriers {
-		return fmt.Errorf("vm: leak pruning (policy %q) requires read barriers", o.Policy.Name())
+		return &OptionError{Option: "Policy+EnableBarriers",
+			Reason: fmt.Sprintf("leak pruning (policy %q) requires read barriers", o.Policy.Name())}
 	}
 	if o.Forced && o.Policy != nil {
-		return fmt.Errorf("vm: Forced state and a pruning policy are mutually exclusive")
+		return &OptionError{Option: "Forced+Policy",
+			Reason: "forced state and a pruning policy are mutually exclusive"}
 	}
 	if o.OffloadDisk > 0 {
 		if o.Policy != nil {
-			return fmt.Errorf("vm: leak pruning and disk offloading are mutually exclusive")
+			return &OptionError{Option: "OffloadDisk+Policy",
+				Reason: "leak pruning and disk offloading are mutually exclusive"}
 		}
 		if !o.EnableBarriers {
-			return fmt.Errorf("vm: disk offloading requires read barriers (staleness tracking and fault-ins)")
+			return &OptionError{Option: "OffloadDisk+EnableBarriers",
+				Reason: "disk offloading requires read barriers (staleness tracking and fault-ins)"}
 		}
 		if o.Forced {
-			return fmt.Errorf("vm: Forced state and disk offloading are mutually exclusive")
+			return &OptionError{Option: "OffloadDisk+Forced",
+				Reason: "forced state and disk offloading are mutually exclusive"}
 		}
+	}
+	if why := badFraction(o.ExpectedUseFraction); why != "" {
+		return &OptionError{Option: "ExpectedUseFraction", Reason: why}
+	}
+	if o.ExpectedUseFraction > 1 {
+		return &OptionError{Option: "ExpectedUseFraction",
+			Reason: fmt.Sprintf("must be at most 1.0, got %g", o.ExpectedUseFraction)}
+	}
+	if why := badFraction(o.NearlyFullFraction); why != "" {
+		return &OptionError{Option: "NearlyFullFraction", Reason: why}
+	}
+	if o.NearlyFullFraction >= 1 {
+		// 1.0 would defer SELECT until the heap is already exhausted —
+		// pruning could never engage before the OOM it exists to avert.
+		return &OptionError{Option: "NearlyFullFraction",
+			Reason: fmt.Sprintf("must be below 1.0, got %g", o.NearlyFullFraction)}
+	}
+	if o.GCWorkers < 0 {
+		return &OptionError{Option: "GCWorkers",
+			Reason: fmt.Sprintf("must not be negative, got %d", o.GCWorkers)}
+	}
+	if o.EdgeTableSlots < 0 {
+		return &OptionError{Option: "EdgeTableSlots",
+			Reason: fmt.Sprintf("must not be negative, got %d", o.EdgeTableSlots)}
+	}
+	if o.STWWatchdog < 0 {
+		return &OptionError{Option: "STWWatchdog",
+			Reason: fmt.Sprintf("must not be negative, got %v", o.STWWatchdog)}
 	}
 	return nil
 }

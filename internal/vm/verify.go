@@ -1,0 +1,113 @@
+package vm
+
+import (
+	"fmt"
+
+	"leakpruning/internal/heap"
+)
+
+// VM-level invariant auditor. heap.Audit cross-checks the allocator's
+// accounting against the object table; verifyLocked layers the VM-visible
+// invariants on top:
+//
+//   - no freed slot is reachable from the roots (thread frames + globals);
+//   - every reference held by a live object either targets a live object or
+//     is poison-tagged — a dangling reference without poison is exactly the
+//     use-after-free leak pruning's poisoning discipline exists to prevent;
+//   - immediately after a full collection, every live object's mark word
+//     holds the collection's epoch (sweep completeness: an unmarked
+//     survivor would be invisible garbage, a stale-marked one a sweep bug).
+//
+// The mark check is only meaningful in the window after a collection and
+// before the next allocation, so only the AuditEveryGC path (which runs
+// inside the collection's stop-the-world section) enables it; the public
+// Verify, callable at any quiescent point, skips it.
+
+// Verify stops the world, audits the heap's internal accounting
+// (heap.Audit) plus the VM-level reachability and poisoning invariants, and
+// returns the violations found (empty means sound). It also records the
+// report for LastAudit and the Stats counters.
+func (v *VM) Verify() []string {
+	v.world.Lock()
+	defer v.world.Unlock()
+	return v.verifyLocked(false)
+}
+
+// verifyLocked runs the audit. Caller holds the world write lock.
+// checkMarks additionally asserts post-collection mark-word hygiene and
+// must only be set when no allocation has happened since the last full
+// collection.
+func (v *VM) verifyLocked(checkMarks bool) []string {
+	v.flushTLABs()
+	violations := v.heap.Audit()
+
+	// Ground truth: the set of live object IDs.
+	next := v.heap.MaxID()
+	live := make([]bool, next)
+	epoch := v.collector.Epoch()
+	v.heap.ForEach(func(id heap.ObjectID, obj *heap.Object) {
+		live[id] = true
+		if checkMarks && !obj.Marked(epoch) {
+			violations = append(violations,
+				fmt.Sprintf("object %d survived the sweep without epoch-%d mark", id, epoch))
+		}
+	})
+
+	// Dangling-reference sweep: every outgoing reference of every live
+	// object must be null, poisoned, or aimed at a live object.
+	v.heap.ForEach(func(id heap.ObjectID, obj *heap.Object) {
+		for slot, n := 0, obj.NumRefs(); slot < n; slot++ {
+			r := obj.Ref(slot)
+			if r.IsNull() || r.IsPoisoned() {
+				continue
+			}
+			if tid := r.ID(); tid >= next || !live[tid] {
+				violations = append(violations,
+					fmt.Sprintf("object %d slot %d holds un-poisoned dangling reference to freed slot %d",
+						id, slot, r.ID()))
+			}
+		}
+	})
+
+	// Root reachability: walk the non-poisoned transitive closure from the
+	// roots and assert it never enters a freed slot. (Roots are untagged,
+	// but heap references along the way may carry the stale tag.)
+	visited := make([]bool, next)
+	var stack []heap.ObjectID
+	enter := func(r heap.Ref, from string) {
+		if r.IsNull() || r.IsPoisoned() {
+			return
+		}
+		id := r.ID()
+		if id >= next || !live[id] {
+			violations = append(violations,
+				fmt.Sprintf("freed slot %d reachable from %s", id, from))
+			return
+		}
+		if !visited[id] {
+			visited[id] = true
+			stack = append(stack, id)
+		}
+	}
+	(*rootVisitor)(v).VisitRoots(func(r heap.Ref) { enter(r, "roots") })
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		obj, ok := v.heap.Lookup(id)
+		if !ok {
+			continue // already reported by enter
+		}
+		for slot, n := 0, obj.NumRefs(); slot < n; slot++ {
+			enter(obj.Ref(slot), fmt.Sprintf("object %d slot %d", id, slot))
+		}
+	}
+
+	v.auditsRun.Add(1)
+	v.auditViolations.Add(uint64(len(violations)))
+	v.auditMu.Lock()
+	// Non-nil even when clean: LastAudit distinguishes "never audited"
+	// (nil) from "last audit found nothing" (empty).
+	v.lastAudit = append([]string{}, violations...)
+	v.auditMu.Unlock()
+	return violations
+}

@@ -9,6 +9,7 @@ import (
 
 	"leakpruning/internal/core"
 	"leakpruning/internal/edgetable"
+	"leakpruning/internal/faultinject"
 	"leakpruning/internal/gc"
 	"leakpruning/internal/heap"
 	"leakpruning/internal/offload"
@@ -35,6 +36,17 @@ type Stats struct {
 	Allocations   uint64
 	PrunedRefs    uint64
 	FinalizersRun uint64
+
+	// Robustness and degradation counters.
+	FinalizerPanics      uint64 // finalizer panics recovered without aborting the STW
+	PrunedEdgeOverflows  uint64 // poisoned-slot records dropped at the diagnostic cap
+	EdgeTableOverflows   uint64 // edge-type insertions dropped by a full (or injected-full) table
+	DegradedTraces       uint64 // collections completed via the serial fallback tracer
+	RecoveredTracePanics uint64 // trace-worker panics recovered at the goroutine boundary
+	WatchdogAborts       uint64 // parallel closures abandoned by the STW watchdog
+	FreeListRepairs      uint64 // corrupt free-list entries detected and discarded
+	AuditsRun            uint64 // heap invariant audits performed (AuditEveryGC / Verify)
+	AuditViolations      uint64 // cumulative violations those audits reported
 }
 
 // FinalizerInfo is passed to finalizer functions when their object is
@@ -77,9 +89,26 @@ type VM struct {
 	finalizers map[heap.ObjectID]func(FinalizerInfo)
 
 	// prunedEdges remembers the target class of poisoned references so the
-	// InternalError raised on access can name the edge type.
-	prunedMu    sync.Mutex
-	prunedEdges map[prunedEdgeKey]heap.ClassID
+	// InternalError raised on access can name the edge type. The map is
+	// bounded by prunedEdgeCap (maxPrunedEdgeRecords, lowered by tests);
+	// records past the cap are counted in prunedOverflows instead of being
+	// silently dropped, and the trap falls back to the "<pruned>" label.
+	prunedMu        sync.Mutex
+	prunedEdges     map[prunedEdgeKey]heap.ClassID
+	prunedEdgeCap   int
+	prunedOverflows atomic.Uint64
+
+	// inj is the fault injector shared with the heap, collector, edge
+	// table, and offloader (nil: injection disabled).
+	inj             *faultinject.Injector
+	finalizerPanics atomic.Uint64
+	lastFinalizerPanic atomic.Value // string
+
+	// auditMu guards the most recent invariant-audit report.
+	auditMu         sync.Mutex
+	lastAudit       []string
+	auditsRun       atomic.Uint64
+	auditViolations atomic.Uint64
 
 	// lastGCAlloc is the cumulative allocation count at the previous
 	// collection, used to gate stale-counter aging on mutator progress.
@@ -129,14 +158,19 @@ func New(opts Options) *VM {
 	}
 	classes := heap.NewRegistry()
 	v := &VM{
-		opts:        opts,
-		classes:     classes,
-		heap:        heap.New(classes, opts.HeapLimit),
-		threads:     make(map[*Thread]struct{}),
-		finalizers:  make(map[heap.ObjectID]func(FinalizerInfo)),
-		prunedEdges: make(map[prunedEdgeKey]heap.ClassID),
+		opts:          opts,
+		classes:       classes,
+		heap:          heap.New(classes, opts.HeapLimit),
+		threads:       make(map[*Thread]struct{}),
+		finalizers:    make(map[heap.ObjectID]func(FinalizerInfo)),
+		prunedEdges:   make(map[prunedEdgeKey]heap.ClassID),
+		prunedEdgeCap: maxPrunedEdgeRecords,
+		inj:           opts.FaultInjector,
 	}
 	v.collector = gc.NewCollector(v.heap, (*rootVisitor)(v), opts.GCWorkers)
+	v.heap.SetFaultInjector(v.inj)
+	v.collector.SetFaultInjector(v.inj)
+	v.collector.SetWatchdog(opts.STWWatchdog)
 	v.gcTrigger.Store(softTrigger(0, opts.HeapLimit))
 	if opts.EnableBarriers && !opts.LazyBarriers {
 		v.barriersActive.Store(true)
@@ -175,6 +209,10 @@ func New(opts Options) *VM {
 		}
 	}
 	v.ctrl = core.NewController(classes, ctrlOpts)
+	v.ctrl.Edges().SetFaultInjector(v.inj)
+	if opts.OffloadDisk > 0 {
+		v.offloader.SetFaultInjector(v.inj)
+	}
 	return v
 }
 
@@ -223,7 +261,41 @@ func (v *VM) Stats() Stats {
 		Allocations:   v.allocs.Load(),
 		PrunedRefs:    pruned,
 		FinalizersRun: v.finalizersN.Load(),
+
+		FinalizerPanics:      v.finalizerPanics.Load(),
+		PrunedEdgeOverflows:  v.prunedOverflows.Load(),
+		EdgeTableOverflows:   v.ctrl.Edges().Overflows(),
+		DegradedTraces:       v.collector.DegradedTraces(),
+		RecoveredTracePanics: v.collector.RecoveredPanics(),
+		WatchdogAborts:       v.collector.WatchdogAborts(),
+		FreeListRepairs:      v.heap.FreeListRepairs(),
+		AuditsRun:            v.auditsRun.Load(),
+		AuditViolations:      v.auditViolations.Load(),
 	}
+}
+
+// LastAudit returns a copy of the most recent invariant-audit report (nil
+// when no audit has run; empty when the last audit was clean).
+func (v *VM) LastAudit() []string {
+	v.auditMu.Lock()
+	defer v.auditMu.Unlock()
+	if v.lastAudit == nil {
+		return nil
+	}
+	return append([]string{}, v.lastAudit...)
+}
+
+// LastTracePanic returns the most recent recovered trace-worker panic
+// message ("" if none).
+func (v *VM) LastTracePanic() string { return v.collector.LastTracePanic() }
+
+// LastFinalizerPanic returns the most recent recovered finalizer panic
+// message ("" if none).
+func (v *VM) LastFinalizerPanic() string {
+	if s := v.lastFinalizerPanic.Load(); s != nil {
+		return s.(string)
+	}
+	return ""
 }
 
 // AddGlobal adds a global (static) root slot and returns its index.
@@ -415,6 +487,12 @@ func (v *VM) collectLocked() gc.Result {
 	v.allocAtLastGC.Store(hs.BytesAlloc)
 	v.gcTrigger.Store(softTrigger(hs.BytesUsed, hs.Limit))
 	v.ctrl.FinishCycle(res, hs)
+	if v.opts.AuditEveryGC {
+		// Audit inside the stop-the-world section, right after the cycle:
+		// TLABs are already flushed and no allocation has intervened, so the
+		// mark-word check is exact.
+		v.verifyLocked(true)
+	}
 	if v.opts.EnableBarriers && !v.barriersActive.Load() && v.ctrl.Observing() {
 		// The "recompilation" moment: from now on every load runs the
 		// barrier test. OBSERVE is permanent, so this never reverts.
@@ -481,8 +559,26 @@ func (v *VM) runFinalizer(id heap.ObjectID, class heap.ClassID, size uint64) {
 	v.finalMu.Unlock()
 	if ok {
 		v.finalizersN.Add(1)
-		fn(FinalizerInfo{Class: v.classes.Name(class), Size: size})
+		v.safeFinalize(fn, FinalizerInfo{Class: v.classes.Name(class), Size: size})
 	}
+}
+
+// safeFinalize runs one finalizer with panic isolation: finalizers execute
+// inside the collection's stop-the-world section, so a panicking finalizer
+// must not abort the collection or prevent the remaining finalizers from
+// running. The recovery is per-finalizer and counted; the FinalizerPanic
+// injection point stands in for a user finalizer that panics.
+func (v *VM) safeFinalize(fn func(FinalizerInfo), info FinalizerInfo) {
+	defer func() {
+		if r := recover(); r != nil {
+			v.finalizerPanics.Add(1)
+			v.lastFinalizerPanic.Store(fmt.Sprint(r))
+		}
+	}()
+	if v.inj.Should(faultinject.FinalizerPanic) {
+		panic(fmt.Sprintf("faultinject: finalizer panic for class %s", info.Class))
+	}
+	fn(info)
 }
 
 // maxFruitlessCycles is how many consecutive no-progress collections the
@@ -544,13 +640,20 @@ func (v *VM) allocSlow(t *Thread, class heap.ClassID, opts []heap.AllocOption, s
 	panic("unreachable")
 }
 
-// recordPrunedEdge remembers the target class of a poisoned slot.
+// recordPrunedEdge remembers the target class of a poisoned slot. Past the
+// diagnostic cap the record is dropped — a later trap on that slot reports
+// the generic "<pruned>" target — and the drop is counted, so massive
+// prunes degrade observably instead of silently.
 func (v *VM) recordPrunedEdge(src heap.ObjectID, slot int, tgt heap.ClassID) {
 	v.prunedMu.Lock()
-	if len(v.prunedEdges) < maxPrunedEdgeRecords {
-		v.prunedEdges[prunedEdgeKey{src, slot}] = tgt
+	key := prunedEdgeKey{src, slot}
+	if _, exists := v.prunedEdges[key]; exists || len(v.prunedEdges) < v.prunedEdgeCap {
+		v.prunedEdges[key] = tgt
+		v.prunedMu.Unlock()
+		return
 	}
 	v.prunedMu.Unlock()
+	v.prunedOverflows.Add(1)
 }
 
 func (v *VM) prunedEdgeClass(src heap.ObjectID, slot int) (heap.ClassID, bool) {
@@ -594,8 +697,12 @@ func (v *VM) OffloadStats() offload.Stats {
 // faultIn brings an offloaded object back into the heap, collecting (and
 // offloading other stale objects) to make room if needed. The caller must
 // NOT hold the world lock. Throws OutOfMemoryError when no room can be
-// made.
+// made, or OffloadError when the simulated disk read keeps failing after
+// retries (a read has no fallback: the object's bytes exist only on disk).
 func (v *VM) faultIn(id heap.ObjectID) {
+	if attempts, ok := v.offloader.PrepareFaultIn(); !ok {
+		vmerrors.Throw(&vmerrors.OffloadError{Op: "read", ObjectID: uint64(id), Attempts: attempts})
+	}
 	if err := v.heap.FaultIn(id); err == nil {
 		v.world.RLock()
 		if obj, ok := v.heap.Lookup(id); ok {

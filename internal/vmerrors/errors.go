@@ -61,6 +61,31 @@ func (e *InternalError) Unwrap() error {
 	return e.Cause
 }
 
+// OffloadError reports a simulated-disk I/O failure that persisted through
+// the offload subsystem's retries. Writes never surface it — a failed
+// offload write falls back to keeping the object in the heap — so it is
+// only thrown for reads (fault-ins), where no fallback exists: the object's
+// bytes are on disk and the mutator needs them.
+type OffloadError struct {
+	// Op is the failed operation: "read" or "write".
+	Op string
+	// ObjectID names the object whose disk image was involved.
+	ObjectID uint64
+	// Attempts is how many tries (including retries with backoff) failed.
+	Attempts int
+}
+
+func (e *OffloadError) Error() string {
+	return fmt.Sprintf("OffloadError: disk %s failed for object %d after %d attempts",
+		e.Op, e.ObjectID, e.Attempts)
+}
+
+// IsOffload reports whether err is or wraps an OffloadError.
+func IsOffload(err error) bool {
+	var oe *OffloadError
+	return errors.As(err, &oe)
+}
+
 // trap wraps a VM error for propagation by panic. The Java VM specification
 // permits InternalError to be thrown asynchronously at any program point
 // (§2); mutator code in this runtime is ordinary Go code, so the analogue is
