@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke bench-phases chaos chaos-smoke
+.PHONY: all build test race vet bench-smoke bench-phases bench-mutator chaos chaos-smoke
 
 all: build test vet
 
@@ -19,14 +19,21 @@ race:
 vet:
 	$(GO) vet ./...
 
-# One iteration of each phase benchmark — a fast compile-and-run sanity
-# check that the mark/sweep/alloc scaling benches still work.
+# One iteration of each phase and mutator benchmark — a fast
+# compile-and-run sanity check that the mark/sweep/alloc scaling benches
+# and the mutator-ops matrix still work.
 bench-smoke:
 	$(GO) test -run='^$$' -bench='Benchmark(Mark|Sweep|Alloc)Parallel' -benchtime=1x .
+	$(GO) test -run='^$$' -bench='BenchmarkMutatorOps' -benchtime=1x ./internal/vm
 
 # Refresh the per-phase baseline JSON.
 bench-phases:
 	$(GO) run ./cmd/phasebench -o BENCH_gc_phases.json
+
+# Refresh the mutator fast-path baseline JSON (Load/Store/New across
+# barrier settings, thread counts, and world-lock protocols).
+bench-mutator:
+	$(GO) run ./cmd/mutbench -o BENCH_mutator_ops.json
 
 # Full fault-injection campaign: 20 seeds x fault matrix x micro-leak
 # workloads, invariant audit after every collection.

@@ -35,6 +35,8 @@ type scenario struct {
 	arms    map[faultinject.Point]float64
 	workers int  // tracer parallelism (parallel-only faults need > 1)
 	melt    bool // run the disk-offload baseline instead of pruning
+	// worldLock overrides the mutator/collector protocol ("" = safepoint).
+	worldLock string
 	// equivalent marks faults the degradation machinery must hide
 	// completely: the run is required to match the control bit-for-bit in
 	// iterations and end reason.
@@ -49,6 +51,7 @@ func scenarios() []scenario {
 		faultinject.AllocLimitRace:          0.01,
 		faultinject.FinalizerPanic:          0.5,
 		faultinject.EdgeTableOverflow:       0.05,
+		faultinject.SafepointStall:          0.05,
 	}
 	return []scenario{
 		{name: "control", workers: 4},
@@ -69,6 +72,14 @@ func scenarios() []scenario {
 				faultinject.OffloadWriteFault: 0.05,
 				faultinject.OffloadReadFault:  0.02,
 			}},
+		// Stretch the safepoint ragged barrier on both sides (collector slow
+		// to observe the stop, mutators slow to park). The delays are
+		// semantics-free, so the run must match the fault-free control.
+		{name: "safepoint-stall", workers: 4, equivalent: true,
+			arms: map[faultinject.Point]float64{faultinject.SafepointStall: 0.2}},
+		// The legacy world RWMutex with no faults armed: the protocol choice
+		// must be invisible, so this too must match the safepoint control.
+		{name: "world-rwmutex", workers: 4, worldLock: "rwmutex", equivalent: true},
 		{name: "everything", workers: 4, arms: all},
 	}
 }
@@ -234,6 +245,7 @@ func runOne(s scenario, workload string, seed uint64, iters int, heapLimit uint6
 	if s.melt {
 		cfg.Policy = "melt"
 	}
+	cfg.WorldLock = s.worldLock
 	if len(s.arms) > 0 {
 		inj := faultinject.New(seed)
 		for p, prob := range s.arms {

@@ -1,0 +1,181 @@
+// Command mutbench measures mutator fast-path costs — Load, Store, and New
+// ns per operation — across barrier settings, mutator thread counts, and
+// both world-lock protocols (safepoint vs the legacy RWMutex), and writes
+// the results as JSON. It seeds and refreshes BENCH_mutator_ops.json, the
+// repo's perf-trajectory baseline for the mutator hot paths:
+//
+//	go run ./cmd/mutbench -o BENCH_mutator_ops.json
+//
+// The report embeds the pre-safepoint baseline (measured on the per-op
+// RWMutex implementation before the protocol change) so the JSON alone
+// answers "what did killing the world lock buy": compare the baseline rows
+// against the matching world=safepoint rows. Each measurement repeats
+// -repeat times and keeps the best run (least scheduler noise).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"leakpruning/internal/vm"
+)
+
+// baselineRow is one pre-change measurement, kept verbatim in the report.
+type baselineRow struct {
+	Op       string  `json:"op"`
+	Barriers bool    `json:"barriers"`
+	Threads  int     `json:"threads"`
+	NsPerOp  float64 `json:"ns_per_op"`
+}
+
+// preSafepointBaseline is the anchor the safepoint work is judged against:
+// single-threaded ns/op measured at commit 7e6e94e (per-operation world
+// RWMutex, per-op deferred unlock, global atomic counters, uncached
+// heap.Get) on the same class/object shapes benchMutatorOp uses, on an
+// Intel Xeon @ 2.10GHz. Do not regenerate these with current code — they
+// exist precisely because the code they measured is gone.
+var preSafepointBaseline = []baselineRow{
+	{Op: "load", Barriers: false, Threads: 1, NsPerOp: 36.8},
+	{Op: "load", Barriers: true, Threads: 1, NsPerOp: 35.7},
+	{Op: "store", Barriers: true, Threads: 1, NsPerOp: 24.4},
+	{Op: "new", Barriers: true, Threads: 1, NsPerOp: 230},
+}
+
+type resultRow struct {
+	Op       string  `json:"op"`
+	Barriers bool    `json:"barriers"`
+	World    string  `json:"world"`
+	Threads  int     `json:"threads"`
+	NsPerOp  float64 `json:"ns_per_op"`
+}
+
+type report struct {
+	OpsPerThread int    `json:"ops_per_thread"`
+	GoMaxProcs   int    `json:"gomaxprocs"`
+	NumCPU       int    `json:"num_cpu"`
+	Repeat       int    `json:"repeat"`
+	BaselineNote string `json:"baseline_note"`
+	// Baseline holds the pre-safepoint measurements (see preSafepointBaseline).
+	Baseline []baselineRow `json:"baseline_pre_safepoint"`
+	Results  []resultRow   `json:"results"`
+}
+
+// measure runs `ops` operations of kind op on each of `threads` mutator
+// threads and returns ns per operation for the whole run.
+func measure(mode vm.WorldLockMode, barriers bool, op string, threads, ops int) float64 {
+	v := vm.New(vm.Options{
+		HeapLimit:      32 << 20,
+		EnableBarriers: barriers,
+		GCWorkers:      1,
+		WorldLock:      mode,
+	})
+	node := v.DefineClass("Node", 1, 0)
+	scratch := v.DefineClass("Scratch", 0, 64)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := v.RunThread("mutbench", func(t *vm.Thread) {
+				a := t.New(node)
+				t.Store(a, 0, t.New(node))
+				switch op {
+				case "load":
+					for i := 0; i < ops; i += 64 {
+						t.Scope(func() {
+							for j := 0; j < 64; j++ {
+								t.Load(a, 0)
+							}
+						})
+					}
+				case "store":
+					tgt := t.Load(a, 0)
+					for i := 0; i < ops; i += 64 {
+						t.Scope(func() {
+							for j := 0; j < 64; j++ {
+								t.Store(a, 0, tgt)
+							}
+						})
+					}
+				case "new":
+					for i := 0; i < ops; i += 64 {
+						t.Scope(func() {
+							for j := 0; j < 64; j++ {
+								t.New(scratch)
+							}
+						})
+					}
+				}
+			})
+			if err != nil {
+				panic(fmt.Sprintf("mutbench %s: %v", op, err))
+			}
+		}()
+	}
+	wg.Wait()
+	return float64(time.Since(start).Nanoseconds()) / float64(ops*threads)
+}
+
+func main() {
+	out := flag.String("o", "BENCH_mutator_ops.json", "output path ('-' for stdout)")
+	ops := flag.Int("ops", 1<<21, "operations per thread per measurement")
+	repeat := flag.Int("repeat", 3, "repetitions per measurement (best kept)")
+	flag.Parse()
+	if *ops < 64 || *repeat < 1 {
+		fmt.Fprintln(os.Stderr, "mutbench: -ops must be >= 64 and -repeat >= 1")
+		os.Exit(2)
+	}
+
+	rep := report{
+		OpsPerThread: *ops,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		Repeat:       *repeat,
+		BaselineNote: "baseline_pre_safepoint rows were measured before the safepoint " +
+			"protocol replaced the per-operation world RWMutex (commit 7e6e94e); " +
+			"compare them against world=safepoint rows at the same op/barriers/threads",
+		Baseline: preSafepointBaseline,
+	}
+	for _, op := range []string{"load", "store", "new"} {
+		for _, barriers := range []bool{false, true} {
+			for _, mode := range []vm.WorldLockMode{vm.WorldSafepoint, vm.WorldRWMutex} {
+				for _, threads := range []int{1, 2, 4, 8} {
+					best := 0.0
+					for r := 0; r < *repeat; r++ {
+						ns := measure(mode, barriers, op, threads, *ops)
+						if best == 0 || ns < best {
+							best = ns
+						}
+					}
+					fmt.Fprintf(os.Stderr, "mutbench: %s barriers=%v world=%s threads=%d: %.1f ns/op\n",
+						op, barriers, mode, threads, best)
+					rep.Results = append(rep.Results, resultRow{
+						Op: op, Barriers: barriers, World: mode.String(),
+						Threads: threads, NsPerOp: best,
+					})
+				}
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "mutbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mutbench: wrote %s\n", *out)
+}

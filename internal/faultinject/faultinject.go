@@ -59,6 +59,11 @@ const (
 	// fixed-size table were full; the table must drop the update and count
 	// the overflow instead of panicking.
 	EdgeTableOverflow
+	// SafepointStall stretches the safepoint protocol's ragged barrier: the
+	// collector is delayed after raising the stop flag, and a mutator about
+	// to park is delayed before reaching its safepoint. The delay is
+	// semantics-free, so runs with it armed must match fault-free controls.
+	SafepointStall
 
 	// NumPoints is the number of injection points (must stay last).
 	NumPoints
@@ -73,6 +78,7 @@ var pointNames = [NumPoints]string{
 	AllocLimitRace:          "alloc-limit-race",
 	FinalizerPanic:          "finalizer-panic",
 	EdgeTableOverflow:       "edgetable-overflow",
+	SafepointStall:          "safepoint-stall",
 }
 
 // String returns the point's campaign-report name.

@@ -252,7 +252,10 @@ func (c *Collector) runClosure(plan Plan, workers int) (*tracer, uint32) {
 }
 
 // Collect runs one stop-the-world collection cycle under the given plan.
-// The caller must have stopped all mutator threads.
+// The caller must have stopped all mutator threads — under the VM's
+// default safepoint protocol, by completing the ragged barrier (every
+// registered thread observed at a safepoint with the stop flag raised);
+// under the legacy RWMutex protocol, by holding the world write lock.
 //
 // Collect never lets a parallel-tracer fault escape: a worker panic or a
 // watchdog-aborted closure is recovered, the partial marks are invalidated

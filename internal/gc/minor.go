@@ -36,7 +36,9 @@ type MinorResult struct {
 // CollectMinor runs one stop-the-world nursery collection. remset holds the
 // old objects into which young references were stored since the last
 // collection (each at most once; see Object.TryLog). The caller must have
-// stopped all mutator threads and must clear its remembered set afterwards.
+// stopped all mutator threads (see Collect for what that requires of the
+// safepoint and RWMutex world protocols) and must clear its remembered set
+// afterwards.
 func (c *Collector) CollectMinor(remset []heap.ObjectID, onFree func(heap.ObjectID, heap.ClassID, uint64)) MinorResult {
 	start := time.Now()
 	c.epoch++

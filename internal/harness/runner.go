@@ -92,6 +92,10 @@ type Config struct {
 	// STWWatchdog bounds a parallel trace closure before the collection
 	// degrades to the serial tracer (0 = no deadline).
 	STWWatchdog time.Duration
+	// WorldLock selects the mutator/collector synchronization protocol:
+	// "" or "safepoint" (default), or "rwmutex" (the legacy shared-lock
+	// path, kept for equivalence runs).
+	WorldLock string
 	// Verbose streams prune/OOM events to fn as they happen.
 	Verbose func(format string, args ...any)
 }
@@ -209,6 +213,13 @@ func Run(cfg Config) (Result, error) {
 		opts.Barrier = vm.BarrierUnconditional
 	default:
 		return Result{}, fmt.Errorf("harness: unknown barrier variant %q", cfg.BarrierVariant)
+	}
+	switch cfg.WorldLock {
+	case "", "safepoint":
+	case "rwmutex":
+		opts.WorldLock = vm.WorldRWMutex
+	default:
+		return Result{}, fmt.Errorf("harness: unknown world-lock mode %q", cfg.WorldLock)
 	}
 	opts.OnGC = func(ev vm.Event) {
 		res.GCSamples = append(res.GCSamples, GCSample{

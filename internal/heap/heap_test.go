@@ -105,6 +105,38 @@ func TestFreeAndRecycle(t *testing.T) {
 	}
 }
 
+// TestGetCached checks the per-thread chunk-cache lookup agrees with Get on
+// live objects and degrades to nil (instead of panicking) on null and dead
+// references — the VM turns nil into a trap after leaving its critical
+// region, so GetCached must never unwind on its own.
+func TestGetCached(t *testing.T) {
+	h, pair, _ := newTestHeap(t, 1<<20)
+	var cc ChunkCache
+	if h.GetCached(Ref(0), &cc) != nil {
+		t.Fatal("GetCached(null) must be nil")
+	}
+	r1, _ := h.Allocate(pair)
+	r2, _ := h.Allocate(pair)
+	if h.GetCached(r1, &cc) != h.Get(r1) {
+		t.Fatal("GetCached disagrees with Get")
+	}
+	// Second lookup in the same chunk hits the cached pointer.
+	if h.GetCached(r2, &cc) != h.Get(r2) {
+		t.Fatal("cached-chunk lookup disagrees with Get")
+	}
+	h.Free(r1.ID())
+	if h.GetCached(r1, &cc) != nil {
+		t.Fatal("GetCached on a freed slot must be nil")
+	}
+	// A stale cache from one heap must not leak results across chunks it
+	// has never seen: an ID far beyond anything allocated maps to an
+	// unpopulated chunk and must yield nil, not a panic.
+	far := MakeRef(ObjectID(1 << 20))
+	if h.GetCached(far, &cc) != nil {
+		t.Fatal("GetCached on an unallocated chunk must be nil")
+	}
+}
+
 func TestDoubleFreePanics(t *testing.T) {
 	h, pair, _ := newTestHeap(t, 1<<20)
 	r, _ := h.Allocate(pair)

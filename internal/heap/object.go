@@ -63,11 +63,13 @@ func (o *Object) ClearStale() { atomic.StoreUint32(&o.stale, 0) }
 
 // AgeStale implements the logarithmic aging rule from §4.1: full-heap
 // collection number gcIndex increments the counter from its current value k
-// iff 2^k evenly divides gcIndex. The counter saturates at MaxStale. It
-// returns the post-aging value so the sweep needs only one counter access.
+// iff 2^k evenly divides gcIndex. The divisor is always a power of two, so
+// the divisibility test is a mask (the sweep runs this on every live
+// object, every collection). The counter saturates at MaxStale. It returns
+// the post-aging value so the sweep needs only one counter access.
 func (o *Object) AgeStale(gcIndex uint64) uint8 {
 	k := atomic.LoadUint32(&o.stale)
-	if k < MaxStale && gcIndex%(uint64(1)<<k) == 0 {
+	if k < MaxStale && gcIndex&((uint64(1)<<k)-1) == 0 {
 		k++
 		atomic.StoreUint32(&o.stale, k)
 	}

@@ -79,6 +79,35 @@ func TestAgeStaleRule(t *testing.T) {
 	}
 }
 
+// TestAgeStaleSchedule pins the full aging schedule for collections 1..64
+// against a direct transcription of the §4.1 rule — "collection gcIndex
+// increments a counter at value k iff 2^k evenly divides gcIndex" — written
+// with the modulo operator. AgeStale implements the divisibility test as a
+// bit mask (the divisor is always a power of two); this is the oracle that
+// keeps the mask form honest step by step, not just at spot-checked points.
+func TestAgeStaleSchedule(t *testing.T) {
+	h, r := allocObject(t, 0, 0)
+	obj := h.Get(r)
+	want := uint64(0)
+	for i := uint64(1); i <= 64; i++ {
+		if want < MaxStale && i%(uint64(1)<<want) == 0 {
+			want++
+		}
+		got := obj.AgeStale(i)
+		if uint64(got) != want {
+			t.Fatalf("after GC %d: AgeStale returned %d, want %d", i, got, want)
+		}
+		if uint64(obj.Stale()) != want {
+			t.Fatalf("after GC %d: Stale() = %d, want %d", i, obj.Stale(), want)
+		}
+	}
+	// The schedule above must have saturated: 2^0+2^1+...+2^6 opportunities
+	// comfortably exceed what MaxStale requires.
+	if obj.Stale() != MaxStale {
+		t.Fatalf("schedule did not saturate: stale = %d, want %d", obj.Stale(), MaxStale)
+	}
+}
+
 // TestAgeStaleApproximatesLog checks the counter's meaning across random
 // restart points: a counter at value k was always reached after at least
 // 2^(k-1) collections without use.

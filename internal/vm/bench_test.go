@@ -1,6 +1,8 @@
 package vm
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"leakpruning/internal/heap"
@@ -51,6 +53,85 @@ func BenchmarkBarrierColdPath(b *testing.B) {
 	})
 	if err != nil {
 		b.Fatal(err)
+	}
+}
+
+// benchMutatorOp drives one mutator operation from `threads` concurrent
+// Threads, splitting b.N across them (so ns/op stays per-operation). Each
+// thread works its own object pair, so the measurement isolates the world
+// protocol's cost rather than cache-line contention on shared objects.
+func benchMutatorOp(b *testing.B, mode WorldLockMode, barriers bool, op string, threads int) {
+	v := New(Options{HeapLimit: 32 << 20, EnableBarriers: barriers, GCWorkers: 1, WorldLock: mode})
+	node := v.DefineClass("Node", 1, 0)
+	scratch := v.DefineClass("Scratch", 0, 64)
+	per := b.N / threads
+	if per == 0 {
+		per = 1
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := v.RunThread("bench", func(t *Thread) {
+				a := t.New(node)
+				t.Store(a, 0, t.New(node))
+				switch op {
+				case "load":
+					for i := 0; i < per; i += 64 {
+						t.Scope(func() {
+							for j := 0; j < 64; j++ {
+								t.Load(a, 0)
+							}
+						})
+					}
+				case "store":
+					tgt := t.Load(a, 0)
+					for i := 0; i < per; i += 64 {
+						t.Scope(func() {
+							for j := 0; j < 64; j++ {
+								t.Store(a, 0, tgt)
+							}
+						})
+					}
+				case "new":
+					for i := 0; i < per; i += 64 {
+						t.Scope(func() {
+							for j := 0; j < 64; j++ {
+								t.New(scratch)
+							}
+						})
+					}
+				}
+			})
+			if err != nil {
+				b.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkMutatorOps is the mutator fast-path matrix behind
+// BENCH_mutator_ops.json: Load/Store/New, barriers on and off, 1–8 mutator
+// threads, under both world-lock protocols. The single-thread safepoint
+// rows measure the per-operation protocol cost (two thread-local atomics vs
+// an RWMutex acquire/release); the multi-thread rows show the shared
+// RWMutex read path serializing where the safepoint protocol does not.
+func BenchmarkMutatorOps(b *testing.B) {
+	for _, op := range []string{"load", "store", "new"} {
+		for _, barriers := range []bool{false, true} {
+			for _, mode := range []WorldLockMode{WorldSafepoint, WorldRWMutex} {
+				for _, threads := range []int{1, 2, 4, 8} {
+					name := fmt.Sprintf("op=%s/barriers=%v/world=%s/threads=%d",
+						op, barriers, mode, threads)
+					b.Run(name, func(b *testing.B) {
+						benchMutatorOp(b, mode, barriers, op, threads)
+					})
+				}
+			}
+		}
 	}
 }
 

@@ -21,8 +21,8 @@ func (v *VM) DumpDot(w io.Writer, maxNodes int) error {
 	if maxNodes <= 0 {
 		maxNodes = 256
 	}
-	v.world.Lock()
-	defer v.world.Unlock()
+	v.stopTheWorld()
+	defer v.startTheWorld()
 
 	rooted := map[heap.ObjectID]bool{}
 	(*rootVisitor)(v).VisitRoots(func(r heap.Ref) {

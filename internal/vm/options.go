@@ -133,6 +133,13 @@ type Options struct {
 	// the collection abandons it and degrades to the serial tracer
 	// (0 disables the deadline).
 	STWWatchdog time.Duration
+
+	// WorldLock selects how mutator operations synchronize with
+	// stop-the-world collections: WorldSafepoint (the default) uses
+	// per-thread safepoint state words and a ragged-barrier stop, so
+	// mutator fast paths never touch a shared lock; WorldRWMutex is the
+	// original shared-RWMutex protocol, kept for equivalence testing.
+	WorldLock WorldLockMode
 }
 
 // OptionError reports an invalid Options field combination. It is the typed
@@ -225,6 +232,10 @@ func (o Options) validate() error {
 	if o.STWWatchdog < 0 {
 		return &OptionError{Option: "STWWatchdog",
 			Reason: fmt.Sprintf("must not be negative, got %v", o.STWWatchdog)}
+	}
+	if o.WorldLock != WorldSafepoint && o.WorldLock != WorldRWMutex {
+		return &OptionError{Option: "WorldLock",
+			Reason: fmt.Sprintf("unknown mode %d", int(o.WorldLock))}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"leakpruning/internal/heap"
@@ -12,20 +13,47 @@ import (
 // mutates through. Each Thread must be used by at most one goroutine at a
 // time; distinct Threads may run concurrently.
 //
-// Mutator operations take the VM's world lock in read mode, so they
-// interleave freely with each other and stop at collection boundaries.
+// Mutator operations run inside a critical region (see beginOp in
+// world.go): under the default safepoint protocol that is two uncontended
+// atomic operations on the thread's own state word, so distinct threads
+// never serialize on a shared lock; collections stop the world by waiting
+// for every thread to reach a safepoint.
 type Thread struct {
 	vm     *VM
 	name   string
 	frames []*Frame
 	exited bool
+	// safepoint caches Options.WorldLock == WorldSafepoint so the hot paths
+	// branch on a thread-local bool.
+	safepoint bool
+	// state is the safepoint state word (threadSafe / threadRunning),
+	// published with sequentially consistent atomics against the world's
+	// stop flag. Unused in RWMutex mode.
+	state atomic.Uint32
 	// alloc is the thread's TLAB-style allocation context: a reserved byte
 	// quota plus a preferred heap shard, so the allocation fast path
 	// touches the shared used-byte counter only on refill. The VM returns
 	// unused quota at every stop-the-world collection (flushTLABs), and
 	// Exit returns it for good.
 	alloc heap.AllocContext
+	// cache memoizes the last chunk pointer for this thread's object
+	// lookups (heap.GetCached).
+	cache heap.ChunkCache
+	// pool recycles popped Frames and their backing arrays so Scope-heavy
+	// iteration loops stop allocating (bounded by maxFramePool).
+	pool []*Frame
+
+	// Per-thread operation counters. Only this thread increments them (an
+	// uncontended atomic add); Stats aggregates them across live threads
+	// under threadMu and Exit folds them into the VM's retired totals.
+	loads       atomic.Uint64
+	allocs      atomic.Uint64
+	barrierHits atomic.Uint64
 }
+
+// maxFramePool bounds a thread's frame pool; deeper recursion than this
+// just allocates as before.
+const maxFramePool = 64
 
 // Frame is one stack frame: a fixed number of reference slots that are GC
 // roots while the frame is pushed, plus an implicit set of local references.
@@ -39,6 +67,9 @@ type Thread struct {
 // above it is poisoned. With locals rooted, the in-hand object stays live
 // and only a later load through the poisoned heap slot traps, exactly as in
 // the paper.
+//
+// Popped frames are recycled through a per-thread pool: a *Frame must not
+// be retained or used after its frame has been popped.
 type Frame struct {
 	slots  []uint64
 	locals []uint64
@@ -48,7 +79,12 @@ type Frame struct {
 // registered (their stacks remain roots) until Exit is called — which is
 // exactly how the Mckoi workload leaks thread stacks (§6).
 func (v *VM) NewThread(name string) *Thread {
-	t := &Thread{vm: v, name: name, alloc: v.heap.NewAllocContext()}
+	t := &Thread{
+		vm:        v,
+		name:      name,
+		safepoint: v.world.mode == WorldSafepoint,
+		alloc:     v.heap.NewAllocContext(),
+	}
 	v.threadMu.Lock()
 	v.threads[t] = struct{}{}
 	v.threadMu.Unlock()
@@ -77,41 +113,73 @@ func (t *Thread) Name() string { return t.name }
 // VM returns the owning VM.
 func (t *Thread) VM() *VM { return t.vm }
 
-// Exit unregisters the thread; its stack stops being a root. Exit is
+// Exit unregisters the thread; its stack stops being a root and its
+// operation counters are folded into the VM's retired totals. Exit is
 // idempotent.
 func (t *Thread) Exit() {
 	if t.exited {
 		return
 	}
 	t.exited = true
-	// Return the unused TLAB quota under the world read lock so the store
+	// Return the unused TLAB quota inside a critical region so the store
 	// cannot race a stop-the-world flush of the same context.
-	t.vm.world.RLock()
+	t.beginOp()
 	t.vm.heap.ReleaseContext(&t.alloc)
-	t.vm.world.RUnlock()
+	t.endOp()
 	t.vm.threadMu.Lock()
+	t.vm.retired.loads += t.loads.Load()
+	t.vm.retired.allocs += t.allocs.Load()
+	t.vm.retired.barrierHits += t.barrierHits.Load()
 	delete(t.vm.threads, t)
 	t.vm.threadMu.Unlock()
 }
 
 // PushFrame pushes a frame with n reference slots and returns it.
 func (t *Thread) PushFrame(n int) *Frame {
-	f := &Frame{slots: make([]uint64, n)}
-	t.vm.world.RLock()
+	f := t.takeFrame(n)
+	t.beginOp()
 	t.frames = append(t.frames, f)
-	t.vm.world.RUnlock()
+	t.endOp()
 	return f
 }
 
-// PopFrame pops the most recent frame.
+// takeFrame recycles a pooled frame or allocates a fresh one. It runs
+// outside the critical region: the frame is invisible to the collector
+// until PushFrame links it into t.frames.
+func (t *Thread) takeFrame(n int) *Frame {
+	if k := len(t.pool); k > 0 {
+		f := t.pool[k-1]
+		t.pool[k-1] = nil
+		t.pool = t.pool[:k-1]
+		if cap(f.slots) >= n {
+			f.slots = f.slots[:n]
+			for i := range f.slots {
+				f.slots[i] = 0
+			}
+		} else {
+			f.slots = make([]uint64, n)
+		}
+		f.locals = f.locals[:0]
+		return f
+	}
+	return &Frame{slots: make([]uint64, n)}
+}
+
+// PopFrame pops the most recent frame and returns it to the pool.
 func (t *Thread) PopFrame() {
-	t.vm.world.RLock()
-	if len(t.frames) == 0 {
-		t.vm.world.RUnlock()
+	t.beginOp()
+	n := len(t.frames)
+	if n == 0 {
+		t.endOp()
 		panic("vm: PopFrame on empty stack")
 	}
-	t.frames = t.frames[:len(t.frames)-1]
-	t.vm.world.RUnlock()
+	f := t.frames[n-1]
+	t.frames[n-1] = nil
+	t.frames = t.frames[:n-1]
+	t.endOp()
+	if len(t.pool) < maxFramePool {
+		t.pool = append(t.pool, f)
+	}
 }
 
 // InFrame runs body with a fresh frame of n slots, popping it afterwards
@@ -132,8 +200,8 @@ func (t *Thread) Scope(body func()) {
 }
 
 // root records a reference as a local of the innermost frame. Must be
-// called while holding the world read lock (so it cannot race with a
-// collection's root scan).
+// called inside a critical region (so it cannot race with a collection's
+// root scan).
 func (t *Thread) root(r heap.Ref) heap.Ref {
 	if r.IsNull() {
 		return r
@@ -155,8 +223,8 @@ func (f *Frame) Set(i int, r heap.Ref) { atomic.StoreUint64(&f.slots[i], uint64(
 // Len returns the frame's slot count.
 func (f *Frame) Len() int { return len(f.slots) }
 
-// visitRoots reports every live frame slot to the collector. The caller
-// holds the world lock (stop-the-world), so the frame list is stable.
+// visitRoots reports every live frame slot to the collector. The world is
+// stopped, so the frame list is stable.
 func (t *Thread) visitRoots(fn func(heap.Ref)) {
 	for _, f := range t.frames {
 		for i := range f.slots {
@@ -168,17 +236,67 @@ func (t *Thread) visitRoots(fn func(heap.Ref)) {
 	}
 }
 
+// deref resolves a mutator-held reference inside the current critical
+// region, faulting offloaded objects back in when the Melt baseline is
+// active. It leaves the critical region only across the fault-in (which
+// may itself stop the world) and always returns inside it.
+func (t *Thread) deref(a heap.Ref) *heap.Object {
+	v := t.vm
+	obj := v.heap.GetCached(a, &t.cache)
+	if obj == nil {
+		t.trapDeadRef(a)
+	}
+	if v.offloader != nil {
+		// Residency is checked inside the same critical region as the slot
+		// access that follows, so the common resident case pays one flag
+		// load and no second world transition.
+		for obj.IsOffloaded() {
+			t.endOp()
+			v.faultIn(t, a.ID())
+			t.beginOp()
+			obj = v.heap.GetCached(a, &t.cache)
+			if obj == nil {
+				t.trapDeadRef(a)
+			}
+		}
+	}
+	return obj
+}
+
+// trapDeadRef leaves the critical region and reports a dereference of a
+// null, dead, or unallocated reference — a runtime bug, reported with the
+// same panics heap.Get raises.
+//
+//go:noinline
+func (t *Thread) trapDeadRef(a heap.Ref) {
+	t.endOp()
+	if a.IsNull() {
+		panic("heap: dereference of null reference")
+	}
+	panic(fmt.Sprintf("heap: dereference of dead or unallocated %v", a.Untagged()))
+}
+
+// trapBadSlot leaves the critical region and reports an out-of-range slot
+// index.
+//
+//go:noinline
+func (t *Thread) trapBadSlot(class heap.ClassID, n, slot int) {
+	t.endOp()
+	panic(fmt.Sprintf("vm: reference slot %d out of range for %s (%d slots)",
+		slot, t.vm.classes.Name(class), n))
+}
+
 // New allocates an object of the given class, running the collector (and
 // the pruning state machine) if the heap is full. It traps with
 // OutOfMemoryError when memory is exhausted and pruning cannot help.
 func (t *Thread) New(class heap.ClassID, opts ...heap.AllocOption) heap.Ref {
 	v := t.vm
-	v.allocs.Add(1)
-	v.world.RLock()
+	t.allocs.Add(1)
+	t.beginOp()
 	ref, err := v.heap.AllocateCtx(&t.alloc, class, opts...)
 	if err == nil {
 		t.root(ref)
-		v.world.RUnlock()
+		t.endOp()
 		if v.opts.Generational && v.nurseryFull() {
 			v.maybeMinorCollect()
 		}
@@ -187,7 +305,7 @@ func (t *Thread) New(class heap.ClassID, opts ...heap.AllocOption) heap.Ref {
 		}
 		return ref
 	}
-	v.world.RUnlock()
+	t.endOp()
 	c := v.classes.Get(class)
 	size := heap.ObjectSize(c.RefSlots, c.ScalarBytes) // upper-bound estimate for the OOM report
 	return v.allocSlow(t, class, opts, size)
@@ -201,30 +319,35 @@ func (t *Thread) New(class heap.ClassID, opts ...heap.AllocOption) heap.Ref {
 // OutOfMemoryError (§4.4).
 func (t *Thread) Load(a heap.Ref, slot int) heap.Ref {
 	v := t.vm
-	v.loads.Add(1)
-	if v.offloader != nil {
-		t.ensureResident(a)
+	t.loads.Add(1)
+	t.beginOp()
+	src := t.deref(a)
+	if uint(slot) >= uint(src.NumRefs()) {
+		t.trapBadSlot(src.Class(), src.NumRefs(), slot)
 	}
-	v.world.RLock()
-	defer v.world.RUnlock()
-	src := v.heap.Get(a)
 	b := src.Ref(slot)
 	if !v.barriersActive.Load() {
 		// Barriers compiled out (EnableBarriers false) or not yet
 		// "recompiled in" (LazyBarriers while the controller is INACTIVE).
 		// Locals are still rooted: rooting is part of the memory model,
 		// not of the barrier, so overhead comparisons stay like for like.
-		return t.root(b.Untagged())
+		r := t.root(b.Untagged())
+		t.endOp()
+		return r
 	}
 	if v.opts.Barrier == BarrierUnconditional {
-		return t.root(t.loadUnconditional(src, a.ID(), slot, b))
+		r := t.root(t.loadUnconditional(src, a.ID(), slot, b))
+		t.endOp()
+		return r
 	}
 	// Conditional barrier: the fast path is a single test of the low bit
 	// (poisoning sets it too), with the body out of line.
 	if b&heap.TagStale != 0 {
-		b = v.barrierColdPath(src, a.ID(), slot, b)
+		b = t.barrierColdPath(src, a.ID(), slot, b)
 	}
-	return t.root(b)
+	r := t.root(b)
+	t.endOp()
+	return r
 }
 
 // loadUnconditional is the alternative barrier shape: it always performs
@@ -234,26 +357,34 @@ func (t *Thread) loadUnconditional(src *heap.Object, srcID heap.ObjectID, slot i
 	tags := b.Tags()
 	cleared := b.Untagged()
 	if tags != 0 {
-		return t.vm.barrierColdPath(src, srcID, slot, b)
+		return t.barrierColdPath(src, srcID, slot, b)
 	}
 	return cleared
 }
 
 // barrierColdPath implements the out-of-line barrier body from §4.1/§4.4.
+// It runs inside the caller's critical region; the poison-trap path leaves
+// the region before unwinding.
 //
 //go:noinline
-func (v *VM) barrierColdPath(src *heap.Object, srcID heap.ObjectID, slot int, b heap.Ref) heap.Ref {
+func (t *Thread) barrierColdPath(src *heap.Object, srcID heap.ObjectID, slot int, b heap.Ref) heap.Ref {
+	v := t.vm
 	if b.IsPoisoned() {
-		v.throwPoisonTrap(src.Class(), srcID, slot)
+		srcClass := src.Class()
+		t.endOp()
+		v.throwPoisonTrap(srcClass, srcID, slot)
 	}
-	v.barrierHits.Add(1)
+	t.barrierHits.Add(1)
 	old := b
 	b = b.Untagged()
 	// Store back atomically with respect to the read: if another thread
 	// already overwrote the slot, its value is a valid serialization and
 	// we can safely use the reference we loaded (§4.1).
 	src.CompareAndSwapRef(slot, old, b)
-	tgt := v.heap.Get(b)
+	tgt := v.heap.GetCached(b, &t.cache)
+	if tgt == nil {
+		t.trapDeadRef(b)
+	}
 	if v.ctrl.Observing() {
 		if s := tgt.Stale(); s > 1 {
 			v.ctrl.Edges().RecordUse(src.Class(), tgt.Class(), s)
@@ -268,12 +399,11 @@ func (v *VM) barrierColdPath(src *heap.Object, srcID heap.ObjectID, slot int, b 
 // loaded through the barrier or freshly allocated).
 func (t *Thread) Store(a heap.Ref, slot int, val heap.Ref) {
 	v := t.vm
-	if v.offloader != nil {
-		t.ensureResident(a)
+	t.beginOp()
+	src := t.deref(a)
+	if uint(slot) >= uint(src.NumRefs()) {
+		t.trapBadSlot(src.Class(), src.NumRefs(), slot)
 	}
-	v.world.RLock()
-	defer v.world.RUnlock()
-	src := v.heap.Get(a)
 	src.SetRef(slot, val.Untagged())
 	// Generational write barrier: an old object now holding a young
 	// reference must be in the remembered set for the next minor
@@ -283,59 +413,62 @@ func (t *Thread) Store(a heap.Ref, slot int, val heap.Ref) {
 			v.rememberStore(src, a.ID())
 		}
 	}
-}
-
-// ensureResident faults an offloaded object back in before the mutator
-// touches it (the Melt baseline's read/write barrier behaviour: disk-based
-// approaches "retrieve objects from disk if the program accesses them").
-func (t *Thread) ensureResident(a heap.Ref) {
-	v := t.vm
-	v.world.RLock()
-	obj, ok := v.heap.Lookup(a.ID())
-	resident := ok && !obj.IsOffloaded()
-	v.world.RUnlock()
-	if !resident {
-		v.faultIn(a.ID())
-	}
+	t.endOp()
 }
 
 // NumRefs returns the number of reference slots of the object behind a.
 func (t *Thread) NumRefs(a heap.Ref) int {
-	v := t.vm
-	v.world.RLock()
-	defer v.world.RUnlock()
-	return v.heap.Get(a).NumRefs()
+	t.beginOp()
+	n := t.deref(a).NumRefs()
+	t.endOp()
+	return n
 }
 
 // ClassOf returns the class name of the object behind a.
 func (t *Thread) ClassOf(a heap.Ref) string {
-	v := t.vm
-	v.world.RLock()
-	defer v.world.RUnlock()
-	return v.classes.Name(v.heap.Get(a).Class())
+	t.beginOp()
+	c := t.deref(a).Class()
+	t.endOp()
+	return t.vm.classes.Name(c)
 }
 
 // SizeOf returns the simulated size of the object behind a.
 func (t *Thread) SizeOf(a heap.Ref) uint64 {
-	v := t.vm
-	v.world.RLock()
-	defer v.world.RUnlock()
-	return v.heap.Get(a).Size()
+	t.beginOp()
+	s := t.deref(a).Size()
+	t.endOp()
+	return s
 }
 
 // LoadGlobal reads a global root slot. Globals are roots, so they carry no
 // tags and need no barrier (§4.1 instruments heap loads only).
 func (t *Thread) LoadGlobal(g int) heap.Ref {
 	v := t.vm
-	v.world.RLock()
-	defer v.world.RUnlock()
-	return t.root(heap.Ref(atomic.LoadUint64(&v.globals[g])))
+	t.beginOp()
+	if uint(g) >= uint(len(v.globals)) {
+		t.trapBadGlobal(g)
+	}
+	r := t.root(heap.Ref(atomic.LoadUint64(&v.globals[g])))
+	t.endOp()
+	return r
 }
 
 // StoreGlobal writes a global root slot.
 func (t *Thread) StoreGlobal(g int, r heap.Ref) {
 	v := t.vm
-	v.world.RLock()
-	defer v.world.RUnlock()
+	t.beginOp()
+	if uint(g) >= uint(len(v.globals)) {
+		t.trapBadGlobal(g)
+	}
 	atomic.StoreUint64(&v.globals[g], uint64(r.Untagged()))
+	t.endOp()
+}
+
+// trapBadGlobal leaves the critical region and reports an out-of-range
+// global index.
+//
+//go:noinline
+func (t *Thread) trapBadGlobal(g int) {
+	t.endOp()
+	panic(fmt.Sprintf("vm: global %d out of range (%d globals)", g, len(t.vm.globals)))
 }

@@ -28,12 +28,12 @@ import (
 // returns the violations found (empty means sound). It also records the
 // report for LastAudit and the Stats counters.
 func (v *VM) Verify() []string {
-	v.world.Lock()
-	defer v.world.Unlock()
+	v.stopTheWorld()
+	defer v.startTheWorld()
 	return v.verifyLocked(false)
 }
 
-// verifyLocked runs the audit. Caller holds the world write lock.
+// verifyLocked runs the audit. Caller has stopped the world.
 // checkMarks additionally asserts post-collection mark-word hygiene and
 // must only be set when no allocation has happened since the last full
 // collection.

@@ -75,12 +75,20 @@ type VM struct {
 	ctrl      *core.Controller
 	offloader *offload.Controller // Melt-style baseline; nil unless enabled
 
-	// world serializes mutator operations (read side) against collections
-	// (write side): holding the write lock is the stop-the-world.
-	world sync.RWMutex
+	// world synchronizes mutator operations against stop-the-world
+	// collections: the safepoint protocol by default, or the legacy shared
+	// RWMutex under Options.WorldLock == WorldRWMutex (see world.go).
+	world world
 
+	// threadMu guards the live-thread set and the retired counter totals
+	// that Exit folds in when a thread unregisters.
 	threadMu sync.Mutex
 	threads  map[*Thread]struct{}
+	retired  struct {
+		loads       uint64
+		allocs      uint64
+		barrierHits uint64
+	}
 
 	globalMu sync.Mutex
 	globals  []uint64
@@ -141,10 +149,11 @@ type VM struct {
 	// observe staleness before memory is exhausted (§3.1).
 	gcTrigger atomic.Uint64
 
-	loads       atomic.Uint64
-	barrierHits atomic.Uint64
+	// poisonTraps stays a VM-global atomic: traps are terminal for their
+	// thread, so the counter is never on a fast path. Loads, allocations,
+	// and barrier hits are counted per thread (see Thread) and aggregated
+	// by Stats.
 	poisonTraps atomic.Uint64
-	allocs      atomic.Uint64
 	gcTimeNanos atomic.Int64
 	finalizersN atomic.Uint64
 }
@@ -167,6 +176,7 @@ func New(opts Options) *VM {
 		prunedEdgeCap: maxPrunedEdgeRecords,
 		inj:           opts.FaultInjector,
 	}
+	v.world.init(opts.WorldLock)
 	v.collector = gc.NewCollector(v.heap, (*rootVisitor)(v), opts.GCWorkers)
 	v.heap.SetFaultInjector(v.inj)
 	v.collector.SetFaultInjector(v.inj)
@@ -238,27 +248,41 @@ func (v *VM) EdgeTable() *edgetable.Table { return v.ctrl.Edges() }
 
 // PruneEvents returns the controller's prune log.
 func (v *VM) PruneEvents() []core.PruneEvent {
-	v.world.Lock()
-	defer v.world.Unlock()
+	v.lockOutSTW()
+	defer v.unlockOutSTW()
 	return append([]core.PruneEvent(nil), v.ctrl.Events()...)
 }
 
-// Stats returns VM counters.
+// Stats returns VM counters. Loads, allocations, and barrier hits are
+// sharded per thread on the mutator fast path; Stats sums the live threads'
+// counters plus the totals folded in by exited threads. The sum is a
+// consistent snapshot only while no mutator runs (counters may advance
+// mid-aggregation otherwise, exactly like any monotonic counter read).
 func (v *VM) Stats() Stats {
-	v.world.RLock()
+	v.lockOutSTW()
 	pruned := v.ctrl.TotalPrunedRefs()
 	idx := v.collector.Index()
-	v.world.RUnlock()
+	v.unlockOutSTW()
+	v.threadMu.Lock()
+	loads := v.retired.loads
+	allocs := v.retired.allocs
+	barrierHits := v.retired.barrierHits
+	for t := range v.threads {
+		loads += t.loads.Load()
+		allocs += t.allocs.Load()
+		barrierHits += t.barrierHits.Load()
+	}
+	v.threadMu.Unlock()
 	return Stats{
 		Collections:   idx,
 		MinorGCs:      v.collector.MinorIndex(),
 		MinorGCTime:   time.Duration(v.minorTime.Load()),
 		MinorFrees:    v.minorFrees.Load(),
 		GCTime:        time.Duration(v.gcTimeNanos.Load()),
-		Loads:         v.loads.Load(),
-		BarrierHits:   v.barrierHits.Load(),
+		Loads:         loads,
+		BarrierHits:   barrierHits,
 		PoisonTraps:   v.poisonTraps.Load(),
-		Allocations:   v.allocs.Load(),
+		Allocations:   allocs,
 		PrunedRefs:    pruned,
 		FinalizersRun: v.finalizersN.Load(),
 
@@ -300,8 +324,8 @@ func (v *VM) LastFinalizerPanic() string {
 
 // AddGlobal adds a global (static) root slot and returns its index.
 func (v *VM) AddGlobal() int {
-	v.world.RLock()
-	defer v.world.RUnlock()
+	v.lockOutSTW()
+	defer v.unlockOutSTW()
 	v.globalMu.Lock()
 	defer v.globalMu.Unlock()
 	v.globals = append(v.globals, 0)
@@ -317,8 +341,8 @@ func (v *VM) SetFinalizer(r heap.Ref, fn func(FinalizerInfo)) {
 	if r.IsNull() {
 		panic("vm: SetFinalizer on null reference")
 	}
-	v.world.RLock()
-	defer v.world.RUnlock()
+	v.lockOutSTW()
+	defer v.unlockOutSTW()
 	v.finalMu.Lock()
 	defer v.finalMu.Unlock()
 	if fn == nil {
@@ -328,10 +352,12 @@ func (v *VM) SetFinalizer(r heap.Ref, fn func(FinalizerInfo)) {
 	}
 }
 
-// Collect forces one full-heap collection (stop-the-world).
+// Collect forces one full-heap collection (stop-the-world). Must not be
+// called from inside a mutator critical region (i.e. not from a finalizer
+// or GC callback); calling it between operations on a live Thread is fine.
 func (v *VM) Collect() gc.Result {
-	v.world.Lock()
-	defer v.world.Unlock()
+	v.stopTheWorld()
+	defer v.startTheWorld()
 	return v.collectLocked()
 }
 
@@ -376,8 +402,8 @@ func softTrigger(live, limit uint64) uint64 {
 
 // maybeCollect runs a collection if used bytes crossed the soft trigger.
 func (v *VM) maybeCollect() {
-	v.world.Lock()
-	defer v.world.Unlock()
+	v.stopTheWorld()
+	defer v.startTheWorld()
 	if v.heap.BytesUsed() > v.gcTrigger.Load() {
 		v.collectLocked()
 	}
@@ -420,8 +446,8 @@ func (v *VM) nurseryFull() bool {
 
 // maybeMinorCollect runs a nursery collection if the nursery is full.
 func (v *VM) maybeMinorCollect() {
-	v.world.Lock()
-	defer v.world.Unlock()
+	v.stopTheWorld()
+	defer v.startTheWorld()
 	if !v.nurseryFull() {
 		return
 	}
@@ -437,8 +463,8 @@ func (v *VM) maybeMinorCollect() {
 }
 
 // flushTLABs returns every thread's unused allocation reservation to the
-// heap, making BytesUsed exact for the collection about to run. Caller
-// holds the world write lock (stop-the-world), so no context is in use.
+// heap, making BytesUsed exact for the collection about to run. Caller has
+// stopped the world, so no context is in use.
 func (v *VM) flushTLABs() {
 	v.threadMu.Lock()
 	for t := range v.threads {
@@ -447,7 +473,7 @@ func (v *VM) flushTLABs() {
 	v.threadMu.Unlock()
 }
 
-// collectLocked runs one collection cycle. Caller holds the world lock.
+// collectLocked runs one collection cycle. Caller has stopped the world.
 func (v *VM) collectLocked() gc.Result {
 	v.flushTLABs()
 	plan := v.ctrl.PlanCycle()
@@ -597,8 +623,8 @@ const absoluteGCBound = 64
 // retry; when no further collection can help, record and throw the
 // out-of-memory error (§2, §3.1).
 func (v *VM) allocSlow(t *Thread, class heap.ClassID, opts []heap.AllocOption, size uint64) heap.Ref {
-	v.world.Lock()
-	defer v.world.Unlock()
+	v.stopTheWorld()
+	defer v.startTheWorld()
 
 	fruitless := 0
 	prevState := v.ctrl.State()
@@ -689,30 +715,31 @@ func (v *VM) OffloadStats() offload.Stats {
 	if v.offloader == nil {
 		return offload.Stats{}
 	}
-	v.world.RLock()
-	defer v.world.RUnlock()
+	v.lockOutSTW()
+	defer v.unlockOutSTW()
 	return v.offloader.Stats()
 }
 
 // faultIn brings an offloaded object back into the heap, collecting (and
-// offloading other stale objects) to make room if needed. The caller must
-// NOT hold the world lock. Throws OutOfMemoryError when no room can be
-// made, or OffloadError when the simulated disk read keeps failing after
-// retries (a read has no fallback: the object's bytes exist only on disk).
-func (v *VM) faultIn(id heap.ObjectID) {
+// offloading other stale objects) to make room if needed. The calling
+// thread must be OUTSIDE its critical region (faultIn may stop the world).
+// Throws OutOfMemoryError when no room can be made, or OffloadError when
+// the simulated disk read keeps failing after retries (a read has no
+// fallback: the object's bytes exist only on disk).
+func (v *VM) faultIn(t *Thread, id heap.ObjectID) {
 	if attempts, ok := v.offloader.PrepareFaultIn(); !ok {
 		vmerrors.Throw(&vmerrors.OffloadError{Op: "read", ObjectID: uint64(id), Attempts: attempts})
 	}
 	if err := v.heap.FaultIn(id); err == nil {
-		v.world.RLock()
+		t.beginOp()
 		if obj, ok := v.heap.Lookup(id); ok {
 			v.offloader.RecordFault(obj.Size())
 		}
-		v.world.RUnlock()
+		t.endOp()
 		return
 	}
-	v.world.Lock()
-	defer v.world.Unlock()
+	v.stopTheWorld()
+	defer v.startTheWorld()
 	fruitless := 0
 	for i := 0; i < absoluteGCBound; i++ {
 		if err := v.heap.FaultIn(id); err == nil {
@@ -764,8 +791,8 @@ type ClassUsage struct {
 // the raw material for the paper's §3.2 diagnostic reports. It stops the
 // world for the duration of the scan.
 func (v *VM) HeapHistogram() []ClassUsage {
-	v.world.Lock()
-	defer v.world.Unlock()
+	v.stopTheWorld()
+	defer v.startTheWorld()
 	type agg struct {
 		objects, bytes uint64
 	}

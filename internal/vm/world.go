@@ -1,0 +1,220 @@
+package vm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"leakpruning/internal/faultinject"
+)
+
+// WorldLockMode selects how mutator operations synchronize with
+// stop-the-world collections.
+type WorldLockMode int
+
+const (
+	// WorldSafepoint (the default) is the safepoint protocol: each Thread
+	// carries an atomic state word, mutator operations enter and leave a
+	// critical region with two uncontended stores on that thread-local word,
+	// and the collector's stop-the-world performs a ragged barrier — it
+	// raises a global stop flag and waits until every registered thread is
+	// observed at a safepoint. Threads that notice the flag park on a
+	// condition variable until the world restarts.
+	WorldSafepoint WorldLockMode = iota
+	// WorldRWMutex is the original implementation — every mutator operation
+	// takes a shared sync.RWMutex in read mode and the stop-the-world is the
+	// write lock. Kept for equivalence testing against WorldSafepoint; its
+	// contended read path serializes multi-threaded mutators.
+	WorldRWMutex
+)
+
+// String names the mode.
+func (m WorldLockMode) String() string {
+	if m == WorldRWMutex {
+		return "rwmutex"
+	}
+	return "safepoint"
+}
+
+// Thread safepoint states (Thread.state).
+const (
+	threadSafe    uint32 = 0 // at a safepoint: outside any mutator critical region
+	threadRunning uint32 = 1 // inside a mutator critical region
+)
+
+// world is the VM's mutator/collector synchronization. Exactly one of the
+// two mechanisms is active, chosen by mode at construction:
+//
+//   - WorldRWMutex: rw is the world lock (read side = mutator op, write
+//     side = stop-the-world). The safepoint fields are unused.
+//   - WorldSafepoint: stwOwner serializes stop-the-world sections (and
+//     VM-level operations that must merely exclude collections); stop is
+//     the Dekker-style flag mutators test after publishing their state
+//     word; parkMu/parkCond park mutators that observed stop until the
+//     world restarts (parked mirrors stop under parkMu for the condvar).
+type world struct {
+	mode WorldLockMode
+
+	rw sync.RWMutex
+
+	stwOwner sync.Mutex
+	stop     atomic.Bool
+	parkMu   sync.Mutex
+	parked   bool
+	parkCond *sync.Cond
+}
+
+func (w *world) init(mode WorldLockMode) {
+	w.mode = mode
+	w.parkCond = sync.NewCond(&w.parkMu)
+}
+
+// stopTheWorld brings every mutator thread to a safepoint and returns with
+// the exclusive right to mutate the heap, the roots, and the controller.
+// Pair with startTheWorld (callers on throwing paths defer it).
+//
+// Safepoint mode is a ragged barrier: after raising the stop flag the
+// collector waits for each registered thread individually; threads reach
+// their safepoints at different times (or are already there — a thread
+// blocked outside the VM parks on first contact instead). Soundness
+// argument: the mutator publishes state=running and THEN tests stop, while
+// the collector publishes stop and THEN reads state — with Go's
+// sequentially consistent atomics, either the mutator sees stop (and backs
+// off to its safepoint) or the collector sees running (and waits for the
+// region to end), never neither.
+func (v *VM) stopTheWorld() {
+	w := &v.world
+	if w.mode == WorldRWMutex {
+		w.rw.Lock()
+		return
+	}
+	w.stwOwner.Lock()
+	w.parkMu.Lock()
+	w.parked = true
+	w.parkMu.Unlock()
+	w.stop.Store(true)
+	if v.inj.Should(faultinject.SafepointStall) {
+		safepointStall()
+	}
+	v.threadMu.Lock()
+	threads := make([]*Thread, 0, len(v.threads))
+	for t := range v.threads {
+		threads = append(threads, t)
+	}
+	v.threadMu.Unlock()
+	for _, t := range threads {
+		for spins := 0; t.state.Load() != threadSafe; spins++ {
+			if spins < 128 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(10 * time.Microsecond)
+			}
+		}
+	}
+}
+
+// startTheWorld releases the stop begun by stopTheWorld and wakes every
+// parked mutator thread.
+func (v *VM) startTheWorld() {
+	w := &v.world
+	if w.mode == WorldRWMutex {
+		w.rw.Unlock()
+		return
+	}
+	w.stop.Store(false)
+	w.parkMu.Lock()
+	w.parked = false
+	w.parkCond.Broadcast()
+	w.parkMu.Unlock()
+	w.stwOwner.Unlock()
+}
+
+// lockOutSTW blocks stop-the-world sections (but not mutator threads) for
+// the duration of a VM-level operation that has no Thread of its own —
+// AddGlobal, SetFinalizer, Stats reads. In RWMutex mode this is the world
+// read lock, exactly as before; in safepoint mode it is the STW owner
+// mutex, which collections also acquire.
+func (v *VM) lockOutSTW() {
+	if v.world.mode == WorldRWMutex {
+		v.world.rw.RLock()
+		return
+	}
+	v.world.stwOwner.Lock()
+}
+
+// unlockOutSTW releases lockOutSTW.
+func (v *VM) unlockOutSTW() {
+	if v.world.mode == WorldRWMutex {
+		v.world.rw.RUnlock()
+		return
+	}
+	v.world.stwOwner.Unlock()
+}
+
+// beginOp enters a mutator critical region: between beginOp and endOp the
+// thread may read and write heap objects, its own frames, and the globals,
+// and no stop-the-world can be in progress. The fast path is two
+// uncontended thread-local atomic operations (one store, one load of the
+// global stop flag); only when a stop is pending does the thread take the
+// slow parking path.
+//
+// Critical regions do not nest, and every path out of one — including the
+// trap paths that unwind with a panic — must pass through endOp exactly
+// once before the region's owner blocks or throws.
+func (t *Thread) beginOp() {
+	if t.safepoint {
+		t.state.Store(threadRunning)
+		if t.vm.world.stop.Load() {
+			t.beginOpSlow()
+		}
+		return
+	}
+	t.vm.world.rw.RLock()
+}
+
+// endOp leaves the critical region: one thread-local atomic store.
+func (t *Thread) endOp() {
+	if t.safepoint {
+		t.state.Store(threadSafe)
+		return
+	}
+	t.vm.world.rw.RUnlock()
+}
+
+// beginOpSlow is beginOp's parking path: back off to the safepoint, wait
+// for the world to restart, and retry the enter protocol (a back-to-back
+// collection may have re-raised the flag).
+//
+//go:noinline
+func (t *Thread) beginOpSlow() {
+	w := &t.vm.world
+	for {
+		t.state.Store(threadSafe)
+		if t.vm.inj.Should(faultinject.SafepointStall) {
+			safepointStall()
+		}
+		w.parkMu.Lock()
+		for w.parked {
+			w.parkCond.Wait()
+		}
+		w.parkMu.Unlock()
+		t.state.Store(threadRunning)
+		if !w.stop.Load() {
+			return
+		}
+	}
+}
+
+// safepointStall is the SafepointStall injection body: a semantics-free
+// delay (scheduler yields) inserted either in the collector right after it
+// raises the stop flag — a world that is slow to stop — or in a mutator
+// right before it parks — a thread that is slow to reach its safepoint.
+// Both stretch the ragged barrier's vulnerable window without changing any
+// observable result, so chaos scenarios built on it are equivalence-checked
+// against fault-free controls.
+func safepointStall() {
+	for i := 0; i < 64; i++ {
+		runtime.Gosched()
+	}
+}
