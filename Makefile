@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke bench-phases bench-mutator chaos chaos-smoke
+.PHONY: all build test race vet cover fuzz-smoke bench-smoke bench-phases bench-mutator chaos chaos-smoke
 
 all: build test vet
 
@@ -11,13 +11,26 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent collector, allocator, runtime
-# facade, and fault-injection packages.
+# facade, fault-injection, and observability packages.
 race:
 	$(GO) test -race ./internal/gc/... ./internal/heap/... ./internal/vm/... \
-		./internal/edgetable/... ./internal/offload/... ./internal/faultinject/...
+		./internal/edgetable/... ./internal/offload/... ./internal/faultinject/... \
+		./internal/obs/...
 
 vet:
 	$(GO) vet ./...
+
+# Per-package statement coverage.
+cover:
+	$(GO) test -cover ./...
+
+# Short native-fuzzing pass over the two fuzz targets: the edge table's
+# shadow-model fuzz and the tagged-reference round trip. The checked-in
+# corpora under testdata/fuzz run in every plain `go test`; this adds ten
+# seconds of fresh input generation per target.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzEdgeTable$$' -fuzztime=10s ./internal/edgetable
+	$(GO) test -run='^$$' -fuzz='^FuzzPoisonRoundTrip$$' -fuzztime=10s ./internal/vm
 
 # One iteration of each phase and mutator benchmark — a fast
 # compile-and-run sanity check that the mark/sweep/alloc scaling benches
@@ -40,6 +53,7 @@ bench-mutator:
 chaos:
 	$(GO) run ./cmd/chaos -seeds 20 -o results/CHAOS_report.json
 
-# Quick CI-sized slice of the campaign.
+# Quick CI-sized slice of the campaign, with trace/metrics artifacts for the
+# seed-1 control and everything runs.
 chaos-smoke:
-	$(GO) run ./cmd/chaos -seeds 3 -iters 800 -o results/CHAOS_report.json
+	$(GO) run ./cmd/chaos -seeds 3 -iters 800 -o results/CHAOS_report.json -obs-dir results

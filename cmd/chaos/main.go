@@ -26,6 +26,7 @@ import (
 
 	"leakpruning/internal/faultinject"
 	"leakpruning/internal/harness"
+	"leakpruning/internal/obs"
 )
 
 // scenario is one cell of the fault matrix: which points fire, at what
@@ -136,6 +137,7 @@ func main() {
 	iters := flag.Int("iters", 3000, "iteration cap per run")
 	heapLimit := flag.Uint64("heap", 1<<20, "simulated heap bytes per run")
 	out := flag.String("o", "results/CHAOS_report.json", "report path")
+	obsDir := flag.String("obs-dir", "", "write trace/metrics artifacts for the seed-1 control and everything runs (empty = off)")
 	verbose := flag.Bool("v", false, "log every run")
 	flag.Parse()
 
@@ -181,7 +183,7 @@ func main() {
 			}
 			for i := 0; i < n; i++ {
 				seed := uint64(i + 1)
-				rec := runOne(s, w, seed, *iters, *heapLimit, controls)
+				rec := runOne(s, w, seed, *iters, *heapLimit, *obsDir, controls)
 				if *verbose {
 					fmt.Printf("%-20s %-10s seed %2d: %d iters, %s (%d audits, %d degraded)\n",
 						s.name, w, seed, rec.Iterations, rec.Reason, rec.AuditsRun, rec.DegradedTraces)
@@ -238,7 +240,7 @@ func controlConfig(workload string, workers, iters int, heapLimit uint64) harnes
 }
 
 func runOne(s scenario, workload string, seed uint64, iters int, heapLimit uint64,
-	controls map[string]harness.Result) runRecord {
+	obsDir string, controls map[string]harness.Result) runRecord {
 	rec := runRecord{Workload: workload, Scenario: s.name, Seed: seed}
 
 	cfg := controlConfig(workload, s.workers, iters, heapLimit)
@@ -253,10 +255,22 @@ func runOne(s scenario, workload string, seed uint64, iters int, heapLimit uint6
 		}
 		cfg.Injector = inj
 	}
+	// Artifacts for the boundary scenarios only: the clean control and the
+	// all-faults run, first seed, so CI uploads a readable pair per workload
+	// instead of hundreds of trace files.
+	if obsDir != "" && seed == 1 && (s.name == "control" || s.name == "everything") {
+		cfg.Obs = obs.New()
+	}
 
 	t0 := time.Now()
 	res, err := harness.Run(cfg)
 	rec.DurationMs = float64(time.Since(t0).Microseconds()) / 1000
+	if cfg.Obs != nil {
+		tag := fmt.Sprintf("chaos_%s_%s", s.name, workload)
+		if _, _, werr := obs.WriteArtifacts(cfg.Obs, obsDir, tag); werr != nil {
+			fmt.Fprintf(os.Stderr, "chaos: obs artifacts for %s: %v\n", tag, werr)
+		}
+	}
 	if err != nil {
 		// The harness only errors on non-typed failures: a raw panic or an
 		// unclassified error escaped the VM API.

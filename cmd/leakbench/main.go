@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"leakpruning/internal/harness"
+	"leakpruning/internal/obs"
 	"leakpruning/internal/workload"
 )
 
@@ -36,6 +37,7 @@ func main() {
 		timeCap  = flag.Duration("time-cap", 2*time.Minute, "wall-clock cap per run")
 		fullHeap = flag.Bool("full-heap-only", false, "use the paper's option (1): prune only at 100% heap fullness")
 		genMode  = flag.Bool("generational", false, "enable nursery (minor) collections")
+		obsDir   = flag.String("obs-dir", "", "write trace_*.json and metrics_*.json artifacts to this directory (single-program mode; empty = off)")
 		verbose  = flag.Bool("v", false, "stream prune and OOM events")
 		list     = flag.Bool("list", false, "list available programs")
 	)
@@ -69,10 +71,22 @@ func main() {
 		if *verbose {
 			cfg.Verbose = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
 		}
+		if *obsDir != "" {
+			cfg.Obs = obs.New()
+		}
 		res, err := harness.Run(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if cfg.Obs != nil {
+			tag := fmt.Sprintf("%s_%s", *program, *policy)
+			tracePath, metricsPath, werr := obs.WriteArtifacts(cfg.Obs, *obsDir, tag)
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, werr)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (load at https://ui.perfetto.dev) and %s\n", tracePath, metricsPath)
 		}
 		fmt.Println(res.Describe())
 		if len(res.Prunes) > 0 {

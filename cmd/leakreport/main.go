@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"leakpruning/internal/core"
+	"leakpruning/internal/obs"
 	"leakpruning/internal/vm"
 	"leakpruning/internal/vmerrors"
 	"leakpruning/internal/workload"
@@ -32,6 +33,7 @@ func main() {
 		topN     = flag.Int("top", 12, "rows per report section")
 		dotFile  = flag.String("dot", "", "write a Graphviz dump of the final heap to this file")
 		dotNodes = flag.Int("dot-nodes", 256, "node cap for the -dot dump")
+		obsDir   = flag.String("obs-dir", "results", "directory for trace_*.json and metrics_*.json artifacts (empty = off)")
 	)
 	flag.Parse()
 
@@ -52,10 +54,15 @@ func main() {
 
 	var oomWarnedAt string
 	var pruneEvents []core.PruneEvent
+	var o *obs.Obs
+	if *obsDir != "" {
+		o = obs.New()
+	}
 	machine := vm.New(vm.Options{
 		HeapLimit:      heapLimit,
 		EnableBarriers: true,
 		Policy:         pol,
+		Obs:            o,
 		OnOOM: func(oom *vmerrors.OutOfMemoryError) {
 			oomWarnedAt = oom.Error()
 		},
@@ -97,6 +104,15 @@ func main() {
 	st := machine.Stats()
 	fmt.Printf("\ncollections: %d full, %d minor; pruned references: %d; poison traps: %d\n",
 		st.Collections, st.MinorGCs, st.PrunedRefs, st.PoisonTraps)
+
+	if o != nil {
+		tracePath, metricsPath, werr := obs.WriteArtifacts(o, *obsDir, "leakreport_"+prog.Name())
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace: %s (load at https://ui.perfetto.dev); metrics: %s\n", tracePath, metricsPath)
+	}
 
 	fmt.Printf("\npruned data structures (the likely leaks), first %d events:\n", *topN)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)

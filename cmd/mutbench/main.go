@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"leakpruning/internal/obs"
 	"leakpruning/internal/vm"
 )
 
@@ -50,6 +51,7 @@ type resultRow struct {
 	Op       string  `json:"op"`
 	Barriers bool    `json:"barriers"`
 	World    string  `json:"world"`
+	Obs      bool    `json:"obs"`
 	Threads  int     `json:"threads"`
 	NsPerOp  float64 `json:"ns_per_op"`
 }
@@ -67,12 +69,17 @@ type report struct {
 
 // measure runs `ops` operations of kind op on each of `threads` mutator
 // threads and returns ns per operation for the whole run.
-func measure(mode vm.WorldLockMode, barriers bool, op string, threads, ops int) float64 {
+func measure(mode vm.WorldLockMode, barriers, obsOn bool, op string, threads, ops int) float64 {
+	var o *obs.Obs
+	if obsOn {
+		o = obs.New()
+	}
 	v := vm.New(vm.Options{
 		HeapLimit:      32 << 20,
 		EnableBarriers: barriers,
 		GCWorkers:      1,
 		WorldLock:      mode,
+		Obs:            o,
 	})
 	node := v.DefineClass("Node", 1, 0)
 	scratch := v.DefineClass("Scratch", 0, 64)
@@ -145,20 +152,22 @@ func main() {
 	for _, op := range []string{"load", "store", "new"} {
 		for _, barriers := range []bool{false, true} {
 			for _, mode := range []vm.WorldLockMode{vm.WorldSafepoint, vm.WorldRWMutex} {
-				for _, threads := range []int{1, 2, 4, 8} {
-					best := 0.0
-					for r := 0; r < *repeat; r++ {
-						ns := measure(mode, barriers, op, threads, *ops)
-						if best == 0 || ns < best {
-							best = ns
+				for _, obsOn := range []bool{false, true} {
+					for _, threads := range []int{1, 2, 4, 8} {
+						best := 0.0
+						for r := 0; r < *repeat; r++ {
+							ns := measure(mode, barriers, obsOn, op, threads, *ops)
+							if best == 0 || ns < best {
+								best = ns
+							}
 						}
+						fmt.Fprintf(os.Stderr, "mutbench: %s barriers=%v world=%s obs=%v threads=%d: %.1f ns/op\n",
+							op, barriers, mode, obsOn, threads, best)
+						rep.Results = append(rep.Results, resultRow{
+							Op: op, Barriers: barriers, World: mode.String(), Obs: obsOn,
+							Threads: threads, NsPerOp: best,
+						})
 					}
-					fmt.Fprintf(os.Stderr, "mutbench: %s barriers=%v world=%s threads=%d: %.1f ns/op\n",
-						op, barriers, mode, threads, best)
-					rep.Results = append(rep.Results, resultRow{
-						Op: op, Barriers: barriers, World: mode.String(),
-						Threads: threads, NsPerOp: best,
-					})
 				}
 			}
 		}

@@ -1,0 +1,148 @@
+package edgetable
+
+import (
+	"testing"
+
+	"leakpruning/internal/heap"
+)
+
+// FuzzEdgeTable drives a deliberately tiny table (8 slots, 16 possible edge
+// types) with an arbitrary operation sequence and checks every step against
+// a shadow map. The properties under test are the table's degradation
+// contract: no operation may panic, Len always equals the number of distinct
+// inserted keys, a full table routes new keys to the inert scratch entry and
+// advances Overflows instead of evicting or corrupting an occupied slot, and
+// per-entry maxStaleUse/bytesUsed arithmetic (including decay and reset)
+// matches a straightforward model.
+func FuzzEdgeTable(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 0})
+	// Insert more than Cap distinct keys to reach the overflow path.
+	f.Add([]byte{
+		0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 3, 0,
+		0, 1, 0, 0, 0, 1, 1, 0, 0, 1, 2, 0, 0, 1, 3, 0,
+		0, 2, 0, 0, 0, 2, 1, 0, 0, 2, 2, 0, 0, 2, 3, 0,
+	})
+	// Exercise every op kind at least once.
+	f.Add([]byte{
+		0, 1, 1, 0, // GetOrInsert
+		2, 1, 1, 0, // Get (hit)
+		2, 3, 3, 0, // Get (miss)
+		3, 1, 1, 5, // RecordUse stale=5
+		3, 1, 1, 1, // RecordUse stale=1 (below threshold: no-op)
+		4, 2, 2, 9, // AddBytesUsed
+		5, 1, 1, 0, // RecordPrune
+		6, 0, 0, 0, // DecayMaxStaleUse
+		7, 0, 0, 0, // ResetBytesUsed
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab := New(8)
+		type model struct {
+			msu   uint8
+			bytes uint64
+		}
+		shadow := map[Key]*model{}
+		wantOverflows := uint64(0)
+		// insert applies GetOrInsert's model semantics: existing keys hit,
+		// new keys occupy a slot while there is room, and a full table drops
+		// the insertion (nil = the update landed on scratch).
+		insert := func(k Key) *model {
+			if m, ok := shadow[k]; ok {
+				return m
+			}
+			if len(shadow) >= tab.Cap() {
+				wantOverflows++
+				return nil
+			}
+			m := &model{}
+			shadow[k] = m
+			return m
+		}
+		for i := 0; i+3 < len(data); i += 4 {
+			op := data[i] % 8
+			// Class IDs 1..4: 16 key combinations against 8 slots, and no
+			// collision with the scratch entry's zero key.
+			src := heap.ClassID(data[i+1]&3) + 1
+			tgt := heap.ClassID(data[i+2]&3) + 1
+			aux := data[i+3]
+			k := Key{Src: src, Tgt: tgt}
+			switch op {
+			case 0, 1:
+				e := tab.GetOrInsert(src, tgt)
+				if m := insert(k); m != nil {
+					if e.Key() != k {
+						t.Fatalf("op %d: GetOrInsert(%v).Key() = %v", i, k, e.Key())
+					}
+				} else if e.Key() == k {
+					t.Fatalf("op %d: full table returned a live entry for new key %v", i, k)
+				}
+			case 2:
+				e, ok := tab.Get(src, tgt)
+				_, want := shadow[k]
+				if ok != want {
+					t.Fatalf("op %d: Get(%v) = %t, shadow says %t", i, k, ok, want)
+				}
+				if ok && e.Key() != k {
+					t.Fatalf("op %d: Get(%v).Key() = %v", i, k, e.Key())
+				}
+			case 3:
+				tab.RecordUse(src, tgt, aux)
+				if aux >= 2 {
+					if m := insert(k); m != nil && aux > m.msu {
+						m.msu = aux
+					}
+				}
+			case 4:
+				tab.AddBytesUsed(src, tgt, uint64(aux))
+				if m := insert(k); m != nil {
+					m.bytes += uint64(aux)
+				}
+			case 5:
+				tab.RecordPrune(src, tgt) // lookup-only: never inserts
+			case 6:
+				tab.DecayMaxStaleUse()
+				for _, m := range shadow {
+					if m.msu > 0 {
+						m.msu--
+					}
+				}
+			case 7:
+				tab.ResetBytesUsed()
+				for _, m := range shadow {
+					m.bytes = 0
+				}
+			}
+			if tab.Len() != len(shadow) {
+				t.Fatalf("op %d: Len = %d, shadow has %d keys", i, tab.Len(), len(shadow))
+			}
+			if tab.Overflows() != wantOverflows {
+				t.Fatalf("op %d: Overflows = %d, want %d", i, tab.Overflows(), wantOverflows)
+			}
+		}
+		for k, m := range shadow {
+			e, ok := tab.Get(k.Src, k.Tgt)
+			if !ok {
+				t.Fatalf("inserted key %v not found at end", k)
+			}
+			if e.MaxStaleUse() != m.msu {
+				t.Fatalf("key %v: maxStaleUse = %d, model %d", k, e.MaxStaleUse(), m.msu)
+			}
+			if e.BytesUsed() != m.bytes {
+				t.Fatalf("key %v: bytesUsed = %d, model %d", k, e.BytesUsed(), m.bytes)
+			}
+		}
+		var wantMax uint64
+		for _, m := range shadow {
+			if m.bytes > wantMax {
+				wantMax = m.bytes
+			}
+		}
+		e, ok := tab.MaxBytesUsed()
+		if ok != (wantMax > 0) {
+			t.Fatalf("MaxBytesUsed ok = %t, model max %d", ok, wantMax)
+		}
+		if ok && e.BytesUsed() != wantMax {
+			t.Fatalf("MaxBytesUsed = %d, model %d", e.BytesUsed(), wantMax)
+		}
+	})
+}

@@ -13,16 +13,18 @@
 // goroutine schedule; determinism then holds per (point, draw count), which
 // is what the chaos campaign's per-seed reports key on.
 //
-// The package deliberately imports nothing from the rest of the runtime so
-// every layer can depend on it without cycles. A nil *Injector is valid and
-// injects nothing, so production paths pay one nil check when fault
-// injection is disabled.
+// The package deliberately imports nothing from the rest of the runtime
+// (except the equally leaf-like obs package) so every layer can depend on
+// it without cycles. A nil *Injector is valid and injects nothing, so
+// production paths pay one nil check when fault injection is disabled.
 package faultinject
 
 import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+
+	"leakpruning/internal/obs"
 )
 
 // Point names one injection site in the runtime.
@@ -127,6 +129,11 @@ type pointState struct {
 type Injector struct {
 	seed   uint64
 	points [NumPoints]pointState
+
+	// Observability (nil when disabled; all methods nil-safe). Fires are
+	// rare by construction, so the locked trace Emit is off the hot path.
+	obsTrace *obs.Tracer
+	obsFires [NumPoints]*obs.Counter
 }
 
 // New creates a disarmed injector for the given seed. Arm points
@@ -177,6 +184,19 @@ func (inj *Injector) Limit(p Point, n int) {
 	inj.points[p].limit.Store(uint64(n))
 }
 
+// SetObs attaches per-point fire counters and "fault.fire" trace instants.
+// Safe on a nil receiver and a nil o.
+func (inj *Injector) SetObs(o *obs.Obs) {
+	if inj == nil || o == nil {
+		return
+	}
+	reg := o.Registry()
+	for p := Point(0); p < NumPoints; p++ {
+		inj.obsFires[p] = reg.NewCounter("lp_fault_fires_total", "fault-injection firings by point", obs.L("point", p.String()))
+	}
+	inj.obsTrace = o.Tracer()
+}
+
 // Enabled reports whether the point is armed at all — a cheap pre-check for
 // injection sites whose setup work (not just the decision) should be skipped
 // when disarmed.
@@ -207,6 +227,10 @@ func (inj *Injector) Should(p Point) bool {
 			return false
 		}
 		if ps.fires.CompareAndSwap(fired, fired+1) {
+			inj.obsFires[p].Inc()
+			if tr := inj.obsTrace; tr != nil {
+				tr.Emit(obs.Instant("fault.fire", "fault", tr.Now(), 0, obs.AS("point", p.String())))
+			}
 			return true
 		}
 	}

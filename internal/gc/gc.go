@@ -22,6 +22,7 @@ import (
 
 	"leakpruning/internal/faultinject"
 	"leakpruning/internal/heap"
+	"leakpruning/internal/obs"
 )
 
 // Mode selects the closure structure for one collection cycle.
@@ -171,6 +172,17 @@ type Collector struct {
 	watchdogAborts  atomic.Uint64
 	recoveredPanics atomic.Uint64
 	lastPanicMsg    atomic.Value // string
+
+	// Observability handles (all nil when disabled; every method on them
+	// is nil-safe, so call sites stay unconditional). Phase spans reuse the
+	// durations Collect already measures — tracing adds no extra time.Now
+	// on the disabled path.
+	obsTrace  *obs.Tracer
+	mMark     *obs.Histogram
+	mStale    *obs.Histogram
+	mSweep    *obs.Histogram
+	cCycles   [3]*obs.Counter
+	cDegraded *obs.Counter
 }
 
 // NewCollector creates a collector with the given parallelism (values < 1
@@ -203,6 +215,70 @@ func (c *Collector) SetFaultInjector(inj *faultinject.Injector) { c.inj = inj }
 // collection re-runs with the serial tracer instead of hanging the world
 // (0 disables the deadline).
 func (c *Collector) SetWatchdog(d time.Duration) { c.watchdog = d }
+
+// SetObs attaches the observability layer: per-phase duration histograms,
+// per-mode cycle counters, and Chrome trace spans for mark/stale/sweep
+// (plus a prune overlay span in ModePrune). A nil o leaves everything
+// disabled.
+func (c *Collector) SetObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	c.obsTrace = o.Tracer()
+	reg := o.Registry()
+	c.mMark = reg.NewHistogram("lp_gc_mark_ns", "in-use closure duration per collection", obs.DurationBucketsNs)
+	c.mStale = reg.NewHistogram("lp_gc_stale_ns", "stale closure duration per SELECT collection", obs.DurationBucketsNs)
+	c.mSweep = reg.NewHistogram("lp_gc_sweep_ns", "sweep phase duration per collection", obs.DurationBucketsNs)
+	for m := ModeNormal; m <= ModePrune; m++ {
+		c.cCycles[m] = reg.NewCounter("lp_gc_cycles_total", "full-heap collections by mode", obs.L("mode", m.String()))
+	}
+	c.cDegraded = reg.NewCounter("lp_gc_degraded_total", "collections completed via the serial fallback tracer")
+}
+
+// observeCycle records one finished collection into the metrics registry
+// and, when tracing, emits the phase spans. base is the tracer clock at
+// Collect entry (0 when tracing is off). Every call below is nil-safe, so
+// with observability disabled this reduces to a handful of nil checks on
+// the STW path.
+func (c *Collector) observeCycle(base int64, res *Result) {
+	if int(res.Mode) < len(c.cCycles) {
+		c.cCycles[res.Mode].Inc()
+	}
+	if res.Degraded {
+		c.cDegraded.Inc()
+	}
+	c.mMark.Observe(uint64(res.MarkDuration))
+	if res.Mode == ModeSelect {
+		c.mStale.Observe(uint64(res.StaleDuration))
+	}
+	c.mSweep.Observe(uint64(res.SweepDuration))
+
+	tr := c.obsTrace
+	if tr == nil {
+		return
+	}
+	gcArg := obs.A("gc", int64(res.Index))
+	ts := base
+	mark := res.MarkDuration.Nanoseconds()
+	tr.Emit(obs.Span("gc.mark", "gc", ts, mark, 0, gcArg, obs.AS("mode", res.Mode.String())))
+	if res.Mode == ModePrune {
+		// Pruning happens inside the in-use closure, so the prune span
+		// overlays the mark span.
+		tr.Emit(obs.Span("gc.prune", "gc", ts, mark, 0, gcArg, obs.A("pruned_refs", int64(res.PrunedRefs))))
+	}
+	ts += mark
+	if res.Mode == ModeSelect {
+		stale := res.StaleDuration.Nanoseconds()
+		tr.Emit(obs.Span("gc.stale", "gc", ts, stale, 0, gcArg,
+			obs.A("candidates", int64(res.Candidates)), obs.A("stale_bytes", int64(res.StaleBytes))))
+		ts += stale
+	}
+	sweep := res.SweepDuration.Nanoseconds()
+	tr.Emit(obs.Span("gc.sweep", "gc", ts, sweep, 0, gcArg, obs.A("freed_bytes", int64(res.BytesFreed))))
+	if res.Degraded {
+		tr.Emit(obs.Instant("gc.degraded", "gc", base, 0, obs.AS("cause", res.DegradeCause)))
+	}
+}
 
 // DegradedTraces counts collections that completed via the serial fallback
 // tracer after the parallel closure was abandoned (for any cause).
@@ -264,6 +340,10 @@ func (c *Collector) runClosure(plan Plan, workers int) (*tracer, uint32) {
 // fault-free run; Result.Degraded records that the fallback was taken.
 func (c *Collector) Collect(plan Plan) Result {
 	start := time.Now()
+	var traceBase int64
+	if c.obsTrace != nil {
+		traceBase = c.obsTrace.Now()
+	}
 	c.epoch++
 	c.index++
 	res := Result{Mode: plan.Mode, Epoch: c.epoch, Index: c.index}
@@ -327,6 +407,7 @@ func (c *Collector) Collect(plan Plan) Result {
 	c.heap.ResetYoung()
 
 	res.Duration = time.Since(start)
+	c.observeCycle(traceBase, &res)
 	return res
 }
 
@@ -364,6 +445,11 @@ func (c *Collector) sweep(plan Plan) sweepResult {
 
 	results := make([]sweepResult, workers)
 	finals := make([][]freeRec, workers)
+	// In a prune cycle every reclaimed object was held only through
+	// poisoned or dead references; the heap's prune histograms sample size
+	// and staleness age at exactly this point, before FreeBatch recycles
+	// the slot.
+	pruneMode := plan.Mode == ModePrune
 	scan := func(w int) {
 		sr := &results[w]
 		lo := heap.ObjectID(1 + (uint64(w)*uint64(maxID-1))/uint64(workers))
@@ -388,6 +474,9 @@ func (c *Collector) sweep(plan Plan) sweepResult {
 			}
 			sr.bytesFreed += obj.Size()
 			sr.objectsFreed++
+			if pruneMode {
+				c.heap.RecordPrunedFree(obj.Size(), obj.Stale())
+			}
 			if plan.OnFree != nil {
 				finals[w] = append(finals[w], freeRec{id: id, class: obj.Class(), size: obj.Size()})
 			}

@@ -14,6 +14,7 @@ import (
 	"leakpruning/internal/core"
 	"leakpruning/internal/faultinject"
 	"leakpruning/internal/heap"
+	"leakpruning/internal/obs"
 	"leakpruning/internal/offload"
 	"leakpruning/internal/vm"
 	"leakpruning/internal/vmerrors"
@@ -96,6 +97,10 @@ type Config struct {
 	// "" or "safepoint" (default), or "rwmutex" (the legacy shared-lock
 	// path, kept for equivalence runs).
 	WorldLock string
+	// Obs attaches the observability layer (metrics + trace-event tracer)
+	// to the run's VM; after Run returns, obs.WriteArtifacts exports the
+	// trace and metrics snapshot. Nil disables it.
+	Obs *obs.Obs
 	// Verbose streams prune/OOM events to fn as they happen.
 	Verbose func(format string, args ...any)
 }
@@ -190,6 +195,7 @@ func Run(cfg Config) (Result, error) {
 		FaultInjector:  cfg.Injector,
 		AuditEveryGC:   cfg.AuditEveryGC,
 		STWWatchdog:    cfg.STWWatchdog,
+		Obs:            cfg.Obs,
 	}
 	opts.Generational = cfg.Generational
 	if melt {

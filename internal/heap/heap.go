@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"leakpruning/internal/faultinject"
+	"leakpruning/internal/obs"
 )
 
 const (
@@ -97,6 +98,9 @@ type Heap struct {
 	// inj is the optional fault injector consulted at the allocator's
 	// failure points (nil injects nothing).
 	inj *faultinject.Injector
+	// Prune-time observability histograms (nil when disabled; see obs.go).
+	pruneFreedBytes *obs.Histogram
+	pruneStaleAge   *obs.Histogram
 	// freeListRepairs counts corrupt free-list entries detected and
 	// discarded (see Stats.FreeListRepairs).
 	freeListRepairs atomic.Uint64

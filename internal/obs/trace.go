@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Arg is one key/value attached to an event. It is a fixed-size tagged
+// union (string or int64) so Event stays allocation-free.
+type Arg struct {
+	Key   string
+	Str   string
+	Val   int64
+	isStr bool
+}
+
+// A builds an integer Arg.
+func A(key string, val int64) Arg { return Arg{Key: key, Val: val} }
+
+// AS builds a string Arg.
+func AS(key, val string) Arg { return Arg{Key: key, Str: val, isStr: true} }
+
+// maxArgs bounds per-event payload so Event is a flat value type.
+const maxArgs = 3
+
+// Event is one Chrome trace-event record. TS and Dur are nanoseconds since
+// the tracer's start (the exporter converts to microseconds, which is what
+// the trace-event schema uses).
+type Event struct {
+	Name  string
+	Cat   string
+	Ph    byte // 'X' complete, 'i' instant, 'M' metadata
+	TS    int64
+	Dur   int64
+	Tid   int64
+	NArgs int
+	Args  [maxArgs]Arg
+}
+
+func fillArgs(ev *Event, args []Arg) {
+	n := len(args)
+	if n > maxArgs {
+		n = maxArgs
+	}
+	ev.NArgs = n
+	copy(ev.Args[:], args[:n])
+}
+
+// Span builds a complete ('X') event covering [ts, ts+dur) nanoseconds.
+func Span(name, cat string, ts, dur, tid int64, args ...Arg) Event {
+	ev := Event{Name: name, Cat: cat, Ph: 'X', TS: ts, Dur: dur, Tid: tid}
+	fillArgs(&ev, args)
+	return ev
+}
+
+// Instant builds an instant ('i') event at ts nanoseconds.
+func Instant(name, cat string, ts, tid int64, args ...Arg) Event {
+	ev := Event{Name: name, Cat: cat, Ph: 'i', TS: ts, Tid: tid}
+	fillArgs(&ev, args)
+	return ev
+}
+
+// DefaultRingEvents is the per-thread ring capacity. At 4096 events a ring
+// holds far more than one GC interval's worth of traps/fault-ins; overflow
+// overwrites the oldest event and is counted.
+const DefaultRingEvents = 4096
+
+// Ring is a per-thread event buffer. The owning thread writes to it only
+// from inside its critical regions (between beginOp and endOp), with no
+// locking; it is read only by the collector during stop-the-world
+// (Tracer.DrainAll) or by the owner itself at thread exit
+// (Tracer.CloseRing), both of which exclude concurrent writes by
+// construction. A nil *Ring is the disabled path: every method is a no-op
+// behind a single nil check.
+type Ring struct {
+	tr      *Tracer
+	tid     int64
+	buf     []Event
+	start   int // index of oldest event
+	n       int // number of valid events
+	dropped uint64
+}
+
+// Instant records an instant event on the ring's thread. Must only be
+// called by the owning thread inside a critical region.
+func (r *Ring) Instant(name, cat string, args ...Arg) {
+	if r == nil {
+		return
+	}
+	ev := Event{Name: name, Cat: cat, Ph: 'i', TS: r.tr.Now(), Tid: r.tid}
+	fillArgs(&ev, args)
+	r.push(ev)
+}
+
+func (r *Ring) push(ev Event) {
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = ev
+		r.n++
+		return
+	}
+	// Full: overwrite the oldest event.
+	r.buf[r.start] = ev
+	r.start = (r.start + 1) % len(r.buf)
+	r.dropped++
+}
+
+// Tid returns the ring's trace thread id (0 on nil).
+func (r *Ring) Tid() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.tid
+}
+
+// Tracer collects events into a central sink. Rare, non-mutator-path
+// events (GC phase spans, stop-the-world latencies, fault firings, offload
+// write retries) are Emit()ed directly under a short mutex; mutator-path
+// events go through per-thread Rings and reach the sink only at STW or
+// thread exit. Holders of the sink mutex never block on anything else, so
+// the tracer cannot deadlock against the safepoint barrier. A nil *Tracer
+// is the disabled path.
+type Tracer struct {
+	startWall time.Time
+
+	mu      sync.Mutex
+	events  []Event
+	rings   []*Ring
+	nextTid int64
+	dropped uint64
+}
+
+// NewTracer creates a tracer whose clock starts now. Tid 0 is reserved for
+// VM-global events (GC phases, STW).
+func NewTracer() *Tracer {
+	t := &Tracer{startWall: time.Now(), nextTid: 1}
+	t.events = append(t.events,
+		Event{Name: "process_name", Cat: "__metadata", Ph: 'M', Tid: 0, NArgs: 1,
+			Args: [maxArgs]Arg{AS("name", "leakpruning-vm")}},
+		Event{Name: "thread_name", Cat: "__metadata", Ph: 'M', Tid: 0, NArgs: 1,
+			Args: [maxArgs]Arg{AS("name", "gc/stw")}},
+	)
+	return t
+}
+
+// Now returns nanoseconds since the tracer started (0 on nil). Callers on
+// the mutator fast path must not reach this when tracing is disabled; the
+// nil-safe Ring/Tracer wrappers guarantee that.
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.startWall).Nanoseconds()
+}
+
+// Emit appends an event to the sink. Safe for concurrent use; no-op on nil.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// NewRing registers a per-thread ring named name and returns it (nil on a
+// nil tracer). Tids are assigned sequentially in registration order, which
+// keeps traces deterministic for deterministic workloads.
+func (t *Tracer) NewRing(name string) *Ring {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	tid := t.nextTid
+	t.nextTid++
+	r := &Ring{tr: t, tid: tid, buf: make([]Event, DefaultRingEvents)}
+	t.rings = append(t.rings, r)
+	t.events = append(t.events,
+		Event{Name: "thread_name", Cat: "__metadata", Ph: 'M', Tid: tid, NArgs: 1,
+			Args: [maxArgs]Arg{AS("name", name)}})
+	t.mu.Unlock()
+	return r
+}
+
+func (t *Tracer) drainLocked(r *Ring) {
+	for i := 0; i < r.n; i++ {
+		t.events = append(t.events, r.buf[(r.start+i)%len(r.buf)])
+	}
+	t.dropped += r.dropped
+	r.start, r.n, r.dropped = 0, 0, 0
+}
+
+// DrainAll moves every ring's buffered events into the sink, in ring
+// registration (tid) order. Must only be called while all ring owners are
+// stopped (STW) — the collector calls it at the start of each collection.
+func (t *Tracer) DrainAll() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	for _, r := range t.rings {
+		t.drainLocked(r)
+	}
+	t.mu.Unlock()
+}
+
+// CloseRing drains r and unregisters it. Called by the owning thread at
+// exit, from inside its final critical region.
+func (t *Tracer) CloseRing(r *Ring) {
+	if t == nil || r == nil {
+		return
+	}
+	t.mu.Lock()
+	t.drainLocked(r)
+	for i, x := range t.rings {
+		if x == r {
+			t.rings = append(t.rings[:i], t.rings[i+1:]...)
+			break
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of events currently in the sink (drained rings
+// excluded until DrainAll/CloseRing).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many ring events were overwritten before draining.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+func jsonString(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return `""`
+	}
+	return string(b)
+}
+
+func writeEvent(b *strings.Builder, ev *Event, seq int, normalize bool) {
+	b.WriteString(`{"name":`)
+	b.WriteString(jsonString(ev.Name))
+	b.WriteString(`,"cat":`)
+	b.WriteString(jsonString(ev.Cat))
+	fmt.Fprintf(b, `,"ph":"%c","pid":1,"tid":%d`, ev.Ph, ev.Tid)
+	if ev.Ph != 'M' {
+		if normalize {
+			// Timestamp normalization for the golden determinism test:
+			// ts becomes the event's sequence index, durations collapse
+			// to zero, so only event identity/order/payload remain.
+			fmt.Fprintf(b, `,"ts":%d`, seq)
+			if ev.Ph == 'X' {
+				b.WriteString(`,"dur":0`)
+			}
+		} else {
+			// trace-event timestamps are microseconds; keep ns precision
+			// in the fraction.
+			fmt.Fprintf(b, `,"ts":%d.%03d`, ev.TS/1000, ev.TS%1000)
+			if ev.Ph == 'X' {
+				fmt.Fprintf(b, `,"dur":%d.%03d`, ev.Dur/1000, ev.Dur%1000)
+			}
+		}
+		if ev.Ph == 'i' {
+			b.WriteString(`,"s":"t"`)
+		}
+	}
+	if ev.NArgs > 0 {
+		b.WriteString(`,"args":{`)
+		for i := 0; i < ev.NArgs; i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			a := &ev.Args[i]
+			b.WriteString(jsonString(a.Key))
+			b.WriteByte(':')
+			if a.isStr {
+				b.WriteString(jsonString(a.Str))
+			} else {
+				fmt.Fprintf(b, "%d", a.Val)
+			}
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte('}')
+}
+
+// WriteTrace writes the sink as a Chrome trace-event JSON array (the
+// format Perfetto and chrome://tracing load directly). It does NOT drain
+// rings first — call DrainAll (or let thread exit / STW do it) before
+// exporting. With normalize set, timestamps are replaced by sequence
+// indices and durations by zero; two deterministic runs then produce
+// byte-identical output. Safe on a nil tracer (writes an empty array).
+func (t *Tracer) WriteTrace(w io.Writer, normalize bool) error {
+	var events []Event
+	if t != nil {
+		t.mu.Lock()
+		events = append([]Event(nil), t.events...)
+		t.mu.Unlock()
+	}
+	var b strings.Builder
+	b.WriteString("[")
+	for i := range events {
+		if i > 0 {
+			b.WriteString(",\n")
+		} else {
+			b.WriteString("\n")
+		}
+		writeEvent(&b, &events[i], i, normalize)
+	}
+	b.WriteString("\n]\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -18,6 +18,7 @@ import (
 
 	"leakpruning/internal/faultinject"
 	"leakpruning/internal/heap"
+	"leakpruning/internal/obs"
 )
 
 // DefaultDiskFactor sizes the disk budget relative to the heap when no
@@ -97,6 +98,13 @@ type Controller struct {
 	readFaults    atomic.Uint64
 	readRetries   atomic.Uint64
 	readAborts    atomic.Uint64
+
+	// Observability (nil when disabled; all methods nil-safe).
+	obsTrace        *obs.Tracer
+	obsWriteRetries *obs.Counter
+	obsReadRetries  *obs.Counter
+	obsReadAborts   *obs.Counter
+	obsKept         *obs.Counter
 }
 
 // New creates an offload controller.
@@ -107,6 +115,23 @@ func New(cfg Config) *Controller {
 // SetFaultInjector arms the OffloadWriteFault / OffloadReadFault injection
 // points on this controller's simulated disk.
 func (c *Controller) SetFaultInjector(inj *faultinject.Injector) { c.inj = inj }
+
+// SetObs attaches retry/abort counters and trace instants for the
+// simulated disk. Write-side events fire inside stop-the-world sections
+// and read-side events on the mutator slow path; both use the tracer's
+// locked Emit, whose holder never blocks, so neither can deadlock the
+// safepoint barrier.
+func (c *Controller) SetObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	reg := o.Registry()
+	c.obsWriteRetries = reg.NewCounter("lp_offload_write_retries_total", "failed disk writes retried with backoff")
+	c.obsReadRetries = reg.NewCounter("lp_offload_read_retries_total", "failed disk reads retried with backoff")
+	c.obsReadAborts = reg.NewCounter("lp_offload_read_aborts_total", "fault-ins abandoned after read retries ran out")
+	c.obsKept = reg.NewCounter("lp_offload_kept_in_heap_total", "objects left resident after write retries ran out")
+	c.obsTrace = o.Tracer()
+}
 
 // Config returns the effective configuration.
 func (c *Controller) Config() Config { return c.cfg }
@@ -154,6 +179,7 @@ func (c *Controller) AfterGC(h *heap.Heap) uint64 {
 				// pass moves on. Nothing is lost — the next nearly-full
 				// collection will try it again.
 				c.stats.KeptInHeap++
+				c.obsKept.Inc()
 			}
 		})
 		if h.Stats().BytesUsed <= target {
@@ -186,6 +212,10 @@ func (c *Controller) writeOut(h *heap.Heap, id heap.ObjectID) error {
 			return errWriteFailed
 		}
 		c.stats.WriteRetries++
+		c.obsWriteRetries.Inc()
+		if tr := c.obsTrace; tr != nil {
+			tr.Emit(obs.Instant("offload.write-retry", "offload", tr.Now(), 0, obs.A("attempt", int64(attempt))))
+		}
 		time.Sleep(backoff)
 		if backoff *= 2; backoff > backoffCap {
 			backoff = backoffCap
@@ -208,9 +238,14 @@ func (c *Controller) PrepareFaultIn() (attempts int, ok bool) {
 		c.readFaults.Add(1)
 		if attempt == maxIOAttempts {
 			c.readAborts.Add(1)
+			c.obsReadAborts.Inc()
 			return attempt, false
 		}
 		c.readRetries.Add(1)
+		c.obsReadRetries.Inc()
+		if tr := c.obsTrace; tr != nil {
+			tr.Emit(obs.Instant("offload.read-retry", "offload", tr.Now(), 0, obs.A("attempt", int64(attempt))))
+		}
 		time.Sleep(backoff)
 		if backoff *= 2; backoff > backoffCap {
 			backoff = backoffCap

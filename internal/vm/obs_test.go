@@ -1,0 +1,137 @@
+package vm
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"leakpruning/internal/core"
+	"leakpruning/internal/obs"
+)
+
+// goldenTraceRun executes the safepoint equivalence test's deterministic
+// single-threaded leak workload with the observability layer attached, probes
+// the pruned structure until it traps, and returns the normalized trace
+// stream (timestamps replaced by sink sequence numbers, durations zeroed).
+func goldenTraceRun(t *testing.T, mode WorldLockMode) string {
+	t.Helper()
+	o := obs.New()
+	v := New(Options{
+		HeapLimit:      256 << 10,
+		EnableBarriers: true,
+		GCWorkers:      1,
+		Policy:         core.DefaultPolicy{},
+		WorldLock:      mode,
+		Obs:            o,
+	})
+	holder := v.DefineClass("Holder", 2, 0)
+	payload := v.DefineClass("Payload", 0, 2048)
+	scratch := v.DefineClass("Scratch", 0, 64)
+	g := v.AddGlobal()
+	err := v.RunThread("leaker", func(th *Thread) {
+		for i := 0; i < 1500; i++ {
+			th.Scope(func() {
+				h := th.New(holder)
+				th.Store(h, 0, th.New(payload))
+				th.Store(h, 1, th.LoadGlobal(g))
+				th.StoreGlobal(g, h)
+				for j := 0; j < 4; j++ {
+					th.New(scratch)
+				}
+			})
+		}
+	})
+	if err != nil {
+		t.Fatalf("mode %v: leak workload died: %v", mode, err)
+	}
+	probe := equivalenceProbe(v, g)
+	if !strings.HasPrefix(probe, "trap@") {
+		t.Fatalf("mode %v: probe must hit a pruned edge, got %q", mode, probe)
+	}
+	o.Tracer().DrainAll()
+	var buf bytes.Buffer
+	if err := o.Tracer().WriteTrace(&buf, true); err != nil {
+		t.Fatalf("mode %v: WriteTrace: %v", mode, err)
+	}
+	return buf.String()
+}
+
+// TestGoldenTraceDeterminism is the trace stream's golden test: the same
+// seedless deterministic workload, run twice under the safepoint protocol
+// and once under the legacy RWMutex world lock, must produce byte-identical
+// normalized traces. Wall-clock timing is the only legitimate source of
+// nondeterminism in a trace, and normalization removes exactly that — any
+// remaining diff is a real ordering bug (a ring drained out of tid order, an
+// event emitted outside the stop-the-world section it claims, a protocol
+// leaking into the event stream).
+func TestGoldenTraceDeterminism(t *testing.T) {
+	first := goldenTraceRun(t, WorldSafepoint)
+	second := goldenTraceRun(t, WorldSafepoint)
+	if first != second {
+		t.Fatalf("safepoint traces differ between identical runs:\nrun1 %d bytes\nrun2 %d bytes\n%s",
+			len(first), len(second), firstDiff(first, second))
+	}
+	legacy := goldenTraceRun(t, WorldRWMutex)
+	if first != legacy {
+		t.Fatalf("trace differs across world-lock modes:\nsafepoint %d bytes\nrwmutex %d bytes\n%s",
+			len(first), len(legacy), firstDiff(first, legacy))
+	}
+
+	for _, want := range []string{
+		`"gc.mark"`, `"gc.stale"`, `"gc.sweep"`, `"gc.prune"`,
+		`"stw.stop"`, `"poison.trap"`,
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("trace is missing %s events", want)
+		}
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(first), &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	if len(events) < 10 {
+		t.Fatalf("implausibly small trace: %d events", len(events))
+	}
+	for i, ev := range events {
+		for _, key := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d lacks %q: %v", i, key, ev)
+			}
+		}
+	}
+}
+
+// firstDiff renders the first line where a and b diverge.
+func firstDiff(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			return "first diff at line " + la[i] + "\nvs " + lb[i]
+		}
+	}
+	return "traces are prefixes of each other"
+}
+
+// TestDisabledObsLoadZeroAlloc pins the disabled-path contract from the
+// Options.Obs doc: with no observability attached, the mutator Load fast
+// path allocates nothing — the instrumentation reduces to nil checks on
+// handles that were never created.
+func TestDisabledObsLoadZeroAlloc(t *testing.T) {
+	v := New(Options{HeapLimit: 1 << 20, GCWorkers: 1})
+	node := v.DefineClass("Node", 1, 0)
+	err := v.RunThread("main", func(th *Thread) {
+		a := th.New(node)
+		b := th.New(node)
+		th.Store(a, 0, b)
+		th.Load(a, 0) // warm
+		if allocs := testing.AllocsPerRun(200, func() {
+			th.Load(a, 0)
+		}); allocs != 0 {
+			t.Errorf("obs-disabled Load allocates %.1f objects per op, want 0", allocs)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"leakpruning/internal/core"
 	"leakpruning/internal/faultinject"
+	"leakpruning/internal/obs"
 	"leakpruning/internal/vmerrors"
 )
 
@@ -140,6 +141,13 @@ type Options struct {
 	// mutator fast paths never touch a shared lock; WorldRWMutex is the
 	// original shared-RWMutex protocol, kept for equivalence testing.
 	WorldLock WorldLockMode
+
+	// Obs attaches the observability layer (metrics registry + trace-event
+	// tracer, see internal/obs): GC phase spans, safepoint stop-latency
+	// histograms, trap/barrier/fault counters, and per-thread trace rings.
+	// Nil (the default) disables it; every instrumentation site then
+	// reduces to a single nil check with no allocation and no clock read.
+	Obs *obs.Obs
 }
 
 // OptionError reports an invalid Options field combination. It is the typed

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"leakpruning/internal/heap"
+	"leakpruning/internal/obs"
 	"leakpruning/internal/vmerrors"
 )
 
@@ -49,6 +50,13 @@ type Thread struct {
 	loads       atomic.Uint64
 	allocs      atomic.Uint64
 	barrierHits atomic.Uint64
+
+	// ring is the thread's trace-event buffer (nil when tracing is off).
+	// Written only inside this thread's critical regions; drained by the
+	// collector at stop-the-world and closed by Exit inside its final
+	// critical region, so ring access never needs a lock. Kept after the
+	// hot counters so attaching tracing cannot shift their offsets.
+	ring *obs.Ring
 }
 
 // maxFramePool bounds a thread's frame pool; deeper recursion than this
@@ -84,6 +92,7 @@ func (v *VM) NewThread(name string) *Thread {
 		name:      name,
 		safepoint: v.world.mode == WorldSafepoint,
 		alloc:     v.heap.NewAllocContext(),
+		ring:      v.obsTracer.NewRing(name),
 	}
 	v.threadMu.Lock()
 	v.threads[t] = struct{}{}
@@ -122,9 +131,15 @@ func (t *Thread) Exit() {
 	}
 	t.exited = true
 	// Return the unused TLAB quota inside a critical region so the store
-	// cannot race a stop-the-world flush of the same context.
+	// cannot race a stop-the-world flush of the same context. The trace
+	// ring is drained and unregistered in the same region, alongside the
+	// counter fold below: after Exit, nothing references the ring.
 	t.beginOp()
 	t.vm.heap.ReleaseContext(&t.alloc)
+	if t.ring != nil {
+		t.vm.obsTracer.CloseRing(t.ring)
+		t.ring = nil
+	}
 	t.endOp()
 	t.vm.threadMu.Lock()
 	t.vm.retired.loads += t.loads.Load()
@@ -371,10 +386,15 @@ func (t *Thread) barrierColdPath(src *heap.Object, srcID heap.ObjectID, slot int
 	v := t.vm
 	if b.IsPoisoned() {
 		srcClass := src.Class()
+		// Record the trap instant while still inside the critical region,
+		// where ring writes are drain-safe (nil-safe when tracing is off).
+		t.ring.Instant("poison.trap", "vm",
+			obs.A("src_class", int64(srcClass)), obs.A("src", int64(srcID)), obs.A("slot", int64(slot)))
 		t.endOp()
 		v.throwPoisonTrap(srcClass, srcID, slot)
 	}
 	t.barrierHits.Add(1)
+	v.obsBarrierCold.Inc()
 	old := b
 	b = b.Untagged()
 	// Store back atomically with respect to the read: if another thread

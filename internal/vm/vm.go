@@ -12,6 +12,7 @@ import (
 	"leakpruning/internal/faultinject"
 	"leakpruning/internal/gc"
 	"leakpruning/internal/heap"
+	"leakpruning/internal/obs"
 	"leakpruning/internal/offload"
 	"leakpruning/internal/vmerrors"
 )
@@ -156,6 +157,15 @@ type VM struct {
 	poisonTraps atomic.Uint64
 	gcTimeNanos atomic.Int64
 	finalizersN atomic.Uint64
+
+	// Observability handles (all nil when Options.Obs is nil; every method
+	// on them is nil-safe, so instrumentation sites stay unconditional and
+	// cost one branch when disabled). Per-thread trace rings live on
+	// Thread; these are the VM-global pieces.
+	obsTracer      *obs.Tracer
+	obsPoisonTraps *obs.Counter
+	obsBarrierCold *obs.Counter
+	obsStopNs      *obs.Histogram
 }
 
 // New constructs a VM. Invalid option combinations panic: configuration is
@@ -181,6 +191,17 @@ func New(opts Options) *VM {
 	v.heap.SetFaultInjector(v.inj)
 	v.collector.SetFaultInjector(v.inj)
 	v.collector.SetWatchdog(opts.STWWatchdog)
+	if opts.Obs != nil {
+		v.obsTracer = opts.Obs.Tracer()
+		reg := opts.Obs.Registry()
+		v.obsPoisonTraps = reg.NewCounter("lp_poison_traps_total", "InternalErrors raised for poisoned accesses")
+		v.obsBarrierCold = reg.NewCounter("lp_barrier_cold_hits_total", "read-barrier cold-path executions")
+		v.obsStopNs = reg.NewHistogram("lp_safepoint_stop_ns", "stop-the-world time-to-stop latency",
+			obs.DurationBucketsNs, obs.L("world", opts.WorldLock.String()))
+		v.collector.SetObs(opts.Obs)
+		v.heap.SetObs(opts.Obs)
+		v.inj.SetObs(opts.Obs)
+	}
 	v.gcTrigger.Store(softTrigger(0, opts.HeapLimit))
 	if opts.EnableBarriers && !opts.LazyBarriers {
 		v.barriersActive.Store(true)
@@ -222,6 +243,7 @@ func New(opts Options) *VM {
 	v.ctrl.Edges().SetFaultInjector(v.inj)
 	if opts.OffloadDisk > 0 {
 		v.offloader.SetFaultInjector(v.inj)
+		v.offloader.SetObs(opts.Obs)
 	}
 	return v
 }
@@ -476,6 +498,10 @@ func (v *VM) flushTLABs() {
 // collectLocked runs one collection cycle. Caller has stopped the world.
 func (v *VM) collectLocked() gc.Result {
 	v.flushTLABs()
+	// The world is stopped: no thread is inside a critical region, so every
+	// per-thread trace ring is safe to drain into the sink (nil-safe no-op
+	// when tracing is off).
+	v.obsTracer.DrainAll()
 	plan := v.ctrl.PlanCycle()
 	// Stale counters measure program time, not collector invocations: a
 	// collection that ran with no allocation since the previous one (a
@@ -693,6 +719,7 @@ func (v *VM) prunedEdgeClass(src heap.ObjectID, slot int) (heap.ClassID, bool) {
 // reference, with the averted OutOfMemoryError as its cause (§4.4).
 func (v *VM) throwPoisonTrap(srcClass heap.ClassID, srcID heap.ObjectID, slot int) {
 	v.poisonTraps.Add(1)
+	v.obsPoisonTraps.Inc()
 	tgtName := "<pruned>"
 	if tgt, ok := v.prunedEdgeClass(srcID, slot); ok {
 		tgtName = v.classes.Name(tgt)
@@ -727,7 +754,8 @@ func (v *VM) OffloadStats() offload.Stats {
 // the simulated disk read keeps failing after retries (a read has no
 // fallback: the object's bytes exist only on disk).
 func (v *VM) faultIn(t *Thread, id heap.ObjectID) {
-	if attempts, ok := v.offloader.PrepareFaultIn(); !ok {
+	attempts, ok := v.offloader.PrepareFaultIn()
+	if !ok {
 		vmerrors.Throw(&vmerrors.OffloadError{Op: "read", ObjectID: uint64(id), Attempts: attempts})
 	}
 	if err := v.heap.FaultIn(id); err == nil {
@@ -735,6 +763,8 @@ func (v *VM) faultIn(t *Thread, id heap.ObjectID) {
 		if obj, ok := v.heap.Lookup(id); ok {
 			v.offloader.RecordFault(obj.Size())
 		}
+		// Inside the critical region, so the ring write is drain-safe.
+		t.ring.Instant("offload.faultin", "offload", obs.A("object", int64(id)), obs.A("attempts", int64(attempts)))
 		t.endOp()
 		return
 	}

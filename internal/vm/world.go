@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"leakpruning/internal/faultinject"
+	"leakpruning/internal/obs"
 )
 
 // WorldLockMode selects how mutator operations synchronize with
@@ -85,8 +86,19 @@ func (w *world) init(mode WorldLockMode) {
 // region to end), never neither.
 func (v *VM) stopTheWorld() {
 	w := &v.world
+	// Time-to-stop observation is gated on the histogram handle so the
+	// disabled path never reads the clock. Both world-lock modes observe
+	// from the same call site, which keeps traces comparable across modes.
+	timed := v.obsStopNs != nil
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	if w.mode == WorldRWMutex {
 		w.rw.Lock()
+		if timed {
+			v.observeStop(time.Since(t0))
+		}
 		return
 	}
 	w.stwOwner.Lock()
@@ -111,6 +123,21 @@ func (v *VM) stopTheWorld() {
 				time.Sleep(10 * time.Microsecond)
 			}
 		}
+	}
+	if timed {
+		v.observeStop(time.Since(t0))
+	}
+}
+
+// observeStop records one completed time-to-stop: the latency histogram
+// plus a trace span covering the ragged barrier (or the write-lock
+// acquisition in RWMutex mode). Runs with the world stopped, so the locked
+// Emit is uncontended. Only called when v.obsStopNs is non-nil.
+func (v *VM) observeStop(d time.Duration) {
+	ns := d.Nanoseconds()
+	v.obsStopNs.Observe(uint64(ns))
+	if tr := v.obsTracer; tr != nil {
+		tr.Emit(obs.Span("stw.stop", "safepoint", tr.Now()-ns, ns, 0))
 	}
 }
 
