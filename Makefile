@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet cover fuzz-smoke bench-smoke bench-phases bench-mutator chaos chaos-smoke
+.PHONY: all build test race vet cover fuzz-smoke bench-smoke bench-phases bench-mutator bench-pause chaos chaos-smoke
 
 all: build test vet
 
@@ -24,20 +24,23 @@ vet:
 cover:
 	$(GO) test -cover ./...
 
-# Short native-fuzzing pass over the two fuzz targets: the edge table's
-# shadow-model fuzz and the tagged-reference round trip. The checked-in
-# corpora under testdata/fuzz run in every plain `go test`; this adds ten
-# seconds of fresh input generation per target.
+# Short native-fuzzing pass over the fuzz targets: the edge table's
+# shadow-model fuzz, the tagged-reference round trip, and the SATB
+# deletion-barrier buffer against its shadow model. The checked-in corpora
+# under testdata/fuzz run in every plain `go test`; this adds ten seconds of
+# fresh input generation per target.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzEdgeTable$$' -fuzztime=10s ./internal/edgetable
 	$(GO) test -run='^$$' -fuzz='^FuzzPoisonRoundTrip$$' -fuzztime=10s ./internal/vm
+	$(GO) test -run='^$$' -fuzz='^FuzzSATBBuffer$$' -fuzztime=10s ./internal/vm
 
 # One iteration of each phase and mutator benchmark — a fast
-# compile-and-run sanity check that the mark/sweep/alloc scaling benches
-# and the mutator-ops matrix still work.
+# compile-and-run sanity check that the mark/sweep/alloc scaling benches,
+# the mutator-ops matrix, and the GC-pause bench still work.
 bench-smoke:
 	$(GO) test -run='^$$' -bench='Benchmark(Mark|Sweep|Alloc)Parallel' -benchtime=1x .
 	$(GO) test -run='^$$' -bench='BenchmarkMutatorOps' -benchtime=1x ./internal/vm
+	$(GO) run ./cmd/pausebench -o /dev/null -iters 3000 -repeat 1
 
 # Refresh the per-phase baseline JSON.
 bench-phases:
@@ -47,6 +50,11 @@ bench-phases:
 # barrier settings, thread counts, and world-lock protocols).
 bench-mutator:
 	$(GO) run ./cmd/mutbench -o BENCH_mutator_ops.json
+
+# Refresh the GC-pause baseline JSON (ModeNormal pause statistics on the
+# list-leak workload, STW vs mostly-concurrent marking).
+bench-pause:
+	$(GO) run ./cmd/pausebench -o BENCH_pause.json
 
 # Full fault-injection campaign: 20 seeds x fault matrix x micro-leak
 # workloads, invariant audit after every collection.

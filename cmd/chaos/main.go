@@ -38,6 +38,8 @@ type scenario struct {
 	melt    bool // run the disk-offload baseline instead of pruning
 	// worldLock overrides the mutator/collector protocol ("" = safepoint).
 	worldLock string
+	// markMode overrides the ModeNormal closure strategy ("" = stw).
+	markMode string
 	// equivalent marks faults the degradation machinery must hide
 	// completely: the run is required to match the control bit-for-bit in
 	// iterations and end reason.
@@ -81,6 +83,19 @@ func scenarios() []scenario {
 		// The legacy world RWMutex with no faults armed: the protocol choice
 		// must be invisible, so this too must match the safepoint control.
 		{name: "world-rwmutex", workers: 4, worldLock: "rwmutex", equivalent: true},
+		// Mostly-concurrent marking, fault-free: the mark mode must be
+		// invisible to program semantics (identical iterations, end reason,
+		// and per-collection audits against the fully-STW control).
+		{name: "concurrent-mark", workers: 2, markMode: "concurrent", equivalent: true},
+		// Concurrent marking with SATB buffer loss injected: every detected
+		// drop must degrade the remark to a fresh fully-STW closure that
+		// reproduces the control's live sets exactly.
+		{name: "concurrent-satb-drop", workers: 2, markMode: "concurrent", equivalent: true,
+			arms: map[faultinject.Point]float64{faultinject.SATBBarrierDrop: 0.5}},
+		// A remark pause that is slow to finish: semantics-free delay, so the
+		// run must still match the control bit-for-bit.
+		{name: "concurrent-remark-stall", workers: 2, markMode: "concurrent", equivalent: true,
+			arms: map[faultinject.Point]float64{faultinject.RemarkStall: 0.5}},
 		{name: "everything", workers: 4, arms: all},
 	}
 }
@@ -248,6 +263,7 @@ func runOne(s scenario, workload string, seed uint64, iters int, heapLimit uint6
 		cfg.Policy = "melt"
 	}
 	cfg.WorldLock = s.worldLock
+	cfg.MarkMode = s.markMode
 	if len(s.arms) > 0 {
 		inj := faultinject.New(seed)
 		for p, prob := range s.arms {

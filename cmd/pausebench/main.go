@@ -1,0 +1,240 @@
+// Command pausebench measures stop-the-world pause times for ModeNormal
+// collections under both mark modes and writes the results as JSON. It
+// seeds and refreshes BENCH_pause.json, the repo's perf-trajectory baseline
+// for GC pauses:
+//
+//	go run ./cmd/pausebench -o BENCH_pause.json
+//
+// The workload is the adversarial case for a fully-STW mark: a
+// list-leak program whose live closure grows without bound, so every STW
+// cycle pays an ever-longer in-use trace inside its single pause. Under
+// mostly-concurrent marking the trace and the sweep run while the mutator
+// executes, and only the root snapshot, the final remark, and the
+// promotion bookkeeping remain inside pauses.
+//
+// The report embeds the pre-change STW baseline (measured before the
+// concurrent mark mode existed) so the JSON alone answers "what did taking
+// the closure off the pause buy": compare the baseline rows against the
+// matching mark=concurrent rows. Each measurement repeats -repeat times
+// and keeps the run with the smallest max pause (least scheduler noise).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+
+	"leakpruning/internal/gc"
+	"leakpruning/internal/vm"
+)
+
+// baselineRow is one pre-change measurement, kept verbatim in the report.
+type baselineRow struct {
+	Workload     string  `json:"workload"`
+	Iters        int     `json:"iters"`
+	NormalCycles int     `json:"normal_cycles"`
+	MaxPauseNs   int64   `json:"max_pause_ns"`
+	P99PauseNs   int64   `json:"p99_pause_ns"`
+	P50PauseNs   int64   `json:"p50_pause_ns"`
+	MeanPauseNs  float64 `json:"mean_pause_ns"`
+}
+
+// preSTWBaseline is the anchor the concurrent-marking work is judged
+// against: ModeNormal pause statistics for the list-leak workload measured
+// at commit d9b307e (single-pause fully-STW cycles: plan, in-use trace,
+// sweep, and promotion all under one stop) at GOMAXPROCS=1 on an Intel
+// Xeon @ 2.10GHz with the default -iters. Do not regenerate these with
+// current code — they exist precisely to pin what the pre-change collector
+// cost.
+var preSTWBaseline = []baselineRow{
+	{Workload: "list-leak", Iters: 12000, NormalCycles: 5,
+		MaxPauseNs: 3_327_053, P99PauseNs: 2_729_593, P50PauseNs: 2_377_136,
+		MeanPauseNs: 2_545_850},
+}
+
+type resultRow struct {
+	Workload     string  `json:"workload"`
+	Mark         string  `json:"mark"`
+	Iters        int     `json:"iters"`
+	NormalCycles int     `json:"normal_cycles"`
+	MaxPauseNs   int64   `json:"max_pause_ns"`
+	P99PauseNs   int64   `json:"p99_pause_ns"`
+	P50PauseNs   int64   `json:"p50_pause_ns"`
+	MeanPauseNs  float64 `json:"mean_pause_ns"`
+	// TotalPauseNs is the sum of all ModeNormal pause time — concurrent mode
+	// trades one long pause for three short ones, and this shows the trade
+	// did not silently multiply the total stopped time.
+	TotalPauseNs int64 `json:"total_pause_ns"`
+}
+
+type report struct {
+	GoMaxProcs   int    `json:"gomaxprocs"`
+	NumCPU       int    `json:"num_cpu"`
+	Repeat       int    `json:"repeat"`
+	BaselineNote string `json:"baseline_note"`
+	// Baseline holds the pre-change measurements (see preSTWBaseline).
+	Baseline []baselineRow `json:"baseline_pre_concurrent"`
+	Results  []resultRow   `json:"results"`
+	// MaxPauseSpeedup is baseline max pause / concurrent max pause for the
+	// list-leak workload — the headline number for this change.
+	MaxPauseSpeedup float64 `json:"max_pause_speedup_vs_baseline"`
+}
+
+// pauseStats aggregates the per-pause durations of every ModeNormal cycle
+// in one run.
+type pauseStats struct {
+	cycles int
+	pauses []int64 // individual pause durations, ns
+}
+
+func (s *pauseStats) percentile(p float64) int64 {
+	if len(s.pauses) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), s.pauses...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func (s *pauseStats) max() int64 {
+	var m int64
+	for _, p := range s.pauses {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+func (s *pauseStats) total() int64 {
+	var t int64
+	for _, p := range s.pauses {
+		t += p
+	}
+	return t
+}
+
+func (s *pauseStats) mean() float64 {
+	if len(s.pauses) == 0 {
+		return 0
+	}
+	return float64(s.total()) / float64(len(s.pauses))
+}
+
+// measure runs the list-leak workload under the given mark mode and
+// collects ModeNormal pause durations. The program leaks a linked list of
+// 2KB payloads, so the live closure — and with it a fully-STW mark pause —
+// grows linearly over the run. No pruning policy is installed: the bench
+// isolates ModeNormal cycles, the only mode the concurrent path changes.
+func measure(mode vm.MarkMode, iters int) pauseStats {
+	var st pauseStats
+	v := vm.New(vm.Options{
+		HeapLimit:      64 << 20,
+		EnableBarriers: true,
+		GCWorkers:      1,
+		MarkMode:       mode,
+		OnGC: func(ev vm.Event) {
+			if ev.Result.Mode != gc.ModeNormal {
+				return
+			}
+			st.cycles++
+			for _, p := range ev.Pauses {
+				st.pauses = append(st.pauses, p.Nanoseconds())
+			}
+		},
+	})
+	holder := v.DefineClass("Holder", 2, 0)
+	payload := v.DefineClass("Payload", 0, 2048)
+	scratch := v.DefineClass("Scratch", 0, 512)
+	g := v.AddGlobal()
+	err := v.RunThread("pausebench", func(th *vm.Thread) {
+		for i := 0; i < iters; i++ {
+			th.Scope(func() {
+				h := th.New(holder)
+				th.Store(h, 0, th.New(payload))
+				th.Store(h, 1, th.LoadGlobal(g))
+				th.StoreGlobal(g, h)
+				// Scratch churn drives allocation volume past the soft trigger
+				// so cycles keep firing as the leaked list grows.
+				for j := 0; j < 8; j++ {
+					th.New(scratch)
+				}
+			})
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("pausebench %v: %v", mode, err))
+	}
+	return st
+}
+
+func main() {
+	out := flag.String("o", "BENCH_pause.json", "output path ('-' for stdout)")
+	iters := flag.Int("iters", 12000, "list-leak iterations per measurement")
+	repeat := flag.Int("repeat", 3, "repetitions per measurement (best kept)")
+	flag.Parse()
+	if *iters < 1 || *repeat < 1 {
+		fmt.Fprintln(os.Stderr, "pausebench: -iters and -repeat must be >= 1")
+		os.Exit(2)
+	}
+
+	rep := report{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Repeat:     *repeat,
+		BaselineNote: "baseline_pre_concurrent rows were measured before mostly-concurrent " +
+			"marking existed (commit d9b307e, single fully-STW pause per cycle); compare " +
+			"them against mark=concurrent rows on the same workload",
+		Baseline: preSTWBaseline,
+	}
+	var concurrentMax int64
+	for _, mode := range []vm.MarkMode{vm.MarkSTW, vm.MarkConcurrent} {
+		var best pauseStats
+		for r := 0; r < *repeat; r++ {
+			st := measure(mode, *iters)
+			if best.cycles == 0 || st.max() < best.max() {
+				best = st
+			}
+		}
+		fmt.Fprintf(os.Stderr,
+			"pausebench: list-leak mark=%s: %d normal cycles, max pause %.2fms, p50 %.2fms, total stopped %.2fms\n",
+			mode, best.cycles, float64(best.max())/1e6, float64(best.percentile(0.5))/1e6,
+			float64(best.total())/1e6)
+		rep.Results = append(rep.Results, resultRow{
+			Workload: "list-leak", Mark: mode.String(), Iters: *iters,
+			NormalCycles: best.cycles,
+			MaxPauseNs:   best.max(),
+			P99PauseNs:   best.percentile(0.99),
+			P50PauseNs:   best.percentile(0.5),
+			MeanPauseNs:  best.mean(),
+			TotalPauseNs: best.total(),
+		})
+		if mode == vm.MarkConcurrent {
+			concurrentMax = best.max()
+		}
+	}
+	if concurrentMax > 0 {
+		rep.MaxPauseSpeedup = float64(preSTWBaseline[0].MaxPauseNs) / float64(concurrentMax)
+		fmt.Fprintf(os.Stderr, "pausebench: max-pause speedup vs pre-change baseline: %.1fx\n",
+			rep.MaxPauseSpeedup)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "pausebench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "pausebench: wrote %s\n", *out)
+}

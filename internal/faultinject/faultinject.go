@@ -66,6 +66,17 @@ const (
 	// to park is delayed before reaching its safepoint. The delay is
 	// semantics-free, so runs with it armed must match fault-free controls.
 	SafepointStall
+	// SATBBarrierDrop silently discards one entry logged into a thread's
+	// SATB deletion-barrier buffer during concurrent marking, modelling a
+	// lost pre-write snapshot (the loss is detected, as if by a buffer
+	// checksum, and recorded). The remark pause must notice the drop and
+	// degrade to a fresh fully-STW closure so the live set stays exact.
+	SATBBarrierDrop
+	// RemarkStall stretches the concurrent cycle's final-remark pause with a
+	// semantics-free delay, widening the window in which mutators are parked
+	// behind the remark's ragged barrier. Runs with it armed must match
+	// fault-free controls.
+	RemarkStall
 
 	// NumPoints is the number of injection points (must stay last).
 	NumPoints
@@ -81,6 +92,8 @@ var pointNames = [NumPoints]string{
 	FinalizerPanic:          "finalizer-panic",
 	EdgeTableOverflow:       "edgetable-overflow",
 	SafepointStall:          "safepoint-stall",
+	SATBBarrierDrop:         "satb-barrier-drop",
+	RemarkStall:             "remark-stall",
 }
 
 // String returns the point's campaign-report name.

@@ -1,0 +1,200 @@
+package gc
+
+import (
+	"time"
+
+	"leakpruning/internal/heap"
+)
+
+// Mostly-concurrent marking (the ModeNormal fast path). The cycle is split
+// across three short stop-the-world pauses with the expensive phases in
+// between running while mutators execute:
+//
+//	pause 1 (STW)  StartConcurrent: flip the epoch, snapshot the roots
+//	concurrent     RunMark: the work-stealing closure over the snapshot
+//	pause 2 (STW)  FinishMark: drain SATB buffers, re-scan roots, finish
+//	               the closure (or degrade to a fresh fully-STW closure)
+//	concurrent     Sweep: reclaim unmarked objects via shard-safe FreeBatch
+//	pause 3 (STW)  Finish: generational promotion, Result assembly
+//
+// Soundness is the snapshot-at-the-beginning argument (DESIGN.md,
+// "Concurrent marking"): every object reachable at pause 1 stays marked
+// because (a) the closure covers the snapshot, (b) every heap reference
+// overwritten during the concurrent phase is logged by the mutators' SATB
+// deletion barrier and re-seeded at pause 2, and (c) objects allocated
+// during the cycle are born black (heap.SetAllocMarkEpoch — armed by the
+// VM, not here, because allocation is the VM's domain). The closure may
+// keep floating garbage alive one extra cycle; it can never free a live
+// object. SELECT and PRUNE cycles never come through here: the paper's
+// candidate selection and poisoning need one consistent closure (§3.2,
+// §4.2), so the VM routes them to the fully-STW Collect.
+type ConcurrentMark struct {
+	c    *Collector
+	plan Plan
+	tr   *tracer
+	res  Result
+
+	start     time.Time
+	traceBase int64
+	markStart time.Time
+	sw        sweepResult
+}
+
+// StartConcurrent begins a mostly-concurrent ModeNormal cycle: it advances
+// the epoch and the staleness clock, snapshots the roots, and deals them to
+// the tracer's deques. Call inside the initial stop-the-world pause; after
+// it returns the caller arms black allocation (with Epoch()), arms the
+// mutators' SATB barriers, and restarts the world before RunMark.
+func (c *Collector) StartConcurrent(plan Plan) *ConcurrentMark {
+	if plan.Mode != ModeNormal {
+		panic("gc: concurrent marking supports only ModeNormal cycles")
+	}
+	cm := &ConcurrentMark{c: c, plan: plan, start: time.Now()}
+	if c.obsTrace != nil {
+		cm.traceBase = c.obsTrace.Now()
+	}
+	c.epoch++
+	c.index++
+	cm.res = Result{Mode: plan.Mode, Epoch: c.epoch, Index: c.index, Concurrent: true}
+	cm.tr = newTracer(c.heap, c.epoch, plan, c.workers)
+	cm.tr.concurrent = true
+	if c.workers > 1 {
+		cm.tr.inj = c.inj
+	}
+	c.roots.VisitRoots(func(r heap.Ref) {
+		if r.IsNull() {
+			return
+		}
+		cm.tr.markRoot(r.Untagged())
+	})
+	cm.tr.dealRoots()
+	cm.markStart = time.Now()
+	return cm
+}
+
+// Epoch returns the cycle's mark epoch — after a degraded FinishMark, the
+// bumped re-run epoch. The VM stamps it into heap.SetAllocMarkEpoch so
+// objects allocated while the cycle is in flight are born black.
+func (cm *ConcurrentMark) Epoch() uint32 { return cm.res.Epoch }
+
+// RunMark drives the snapshot closure to termination (or abort) while
+// mutators run. At GOMAXPROCS=1 the workers interleave with mutators
+// through the scheduler — the closure cost leaves the pause either way.
+// Worker panics are recovered even on the serial tracer: unlike the STW
+// path, a concurrent closure has a sound fallback (FinishMark degrades to
+// a fresh fully-STW closure).
+func (cm *ConcurrentMark) RunMark() {
+	cm.tr.process(true)
+	cm.res.MarkDuration = time.Since(cm.markStart)
+}
+
+// FinishMark is the final-remark pause: with the world stopped again, the
+// caller hands over every reference the SATB deletion barriers logged
+// (grays) plus an optional degrade cause ("satb-drop" when barrier loss was
+// detected). The closure is re-seeded from the current roots and the grays
+// and driven to termination; tri-color-wise the grays are exactly the
+// snapshot edges the mutators deleted, so after this pass the marked set
+// covers everything reachable at the snapshot plus everything born black.
+//
+// Any degradation — a caller-supplied cause, a recovered worker panic, or
+// an abort during the remark itself — falls back to the STW oracle: the
+// epoch is bumped (invalidating every concurrent mark, including black
+// allocations) and a fresh serial closure runs from the current roots,
+// producing the same live set a fully-STW cycle would have.
+func (cm *ConcurrentMark) FinishMark(grays []heap.Ref, degradeCause string) {
+	c := cm.c
+	remarkStart := time.Now()
+	defer func() { cm.res.RemarkDuration = time.Since(remarkStart) }()
+
+	if degradeCause == "" {
+		degradeCause = cm.abortCause()
+	}
+	if degradeCause == "" {
+		// Re-seed: current roots (cheap, conservative — they are live by
+		// definition) plus the SATB grays, then run the closure again on the
+		// same epoch. Already-marked entries fall out in markRoot's TryMark.
+		c.roots.VisitRoots(func(r heap.Ref) {
+			if r.IsNull() {
+				return
+			}
+			cm.tr.markRoot(r.Untagged())
+		})
+		for _, r := range grays {
+			if r.IsNull() || r.IsPoisoned() {
+				continue
+			}
+			cm.tr.markRoot(r.Untagged())
+		}
+		cm.tr.dealRoots()
+		cm.tr.process(true)
+		degradeCause = cm.abortCause()
+	}
+	if degradeCause != "" {
+		c.degradedTraces.Add(1)
+		cm.res.Degraded = true
+		cm.res.DegradeCause = degradeCause
+		// Invalidate every mark the concurrent attempt left behind by moving
+		// to a fresh epoch, then re-run the whole closure serially under the
+		// pause. Poison counts carry over as in the STW degradation path
+		// (ModeNormal never poisons, so this is zero here, but the invariant
+		// is kept uniform).
+		carried := int64(0)
+		for _, w := range cm.tr.workers {
+			carried += w.pruned
+		}
+		c.epoch++
+		cm.res.Epoch = c.epoch
+		tr, _ := c.runClosure(cm.plan, 1)
+		tr.prunedRefs += carried
+		cm.tr = tr
+		return
+	}
+	cm.tr.merge()
+}
+
+// abortCause maps the tracer's abort state to a degrade cause ("" = none).
+func (cm *ConcurrentMark) abortCause() string {
+	if !cm.tr.aborted.Load() {
+		return ""
+	}
+	c := cm.c
+	if cm.tr.abortWhy.Load() == abortPanic {
+		c.recoveredPanics.Add(1)
+		if msg := cm.tr.lastPanic.Load(); msg != nil {
+			c.lastPanicMsg.Store(msg)
+		}
+		return "worker-panic"
+	}
+	return "aborted"
+}
+
+// Sweep reclaims every object the cycle left unmarked. It may run while
+// mutators execute: unmarked objects are unreachable (the SATB argument
+// above), the probes and frees go through atomic liveness words and the
+// shard locks, and anything allocated meanwhile is born black under the
+// still-armed alloc-mark epoch, so the sweeper cannot touch it. OnFree
+// callbacks (finalizers) are replayed serially on the calling goroutine,
+// outside any pause.
+func (cm *ConcurrentMark) Sweep() {
+	sweepStart := time.Now()
+	cm.sw = cm.c.sweep(cm.plan)
+	cm.res.SweepDuration = time.Since(sweepStart)
+}
+
+// Finish completes the cycle inside the closing pause: generational
+// promotion, result assembly, and observability. After it returns the
+// caller disarms black allocation and publishes the Result.
+func (cm *ConcurrentMark) Finish() Result {
+	c := cm.c
+	cm.res.Candidates = len(cm.tr.candidates)
+	cm.res.PrunedRefs = int(cm.tr.prunedRefs)
+	cm.res.BytesFreed = cm.sw.bytesFreed
+	cm.res.ObjectsFreed = cm.sw.objectsFreed
+	cm.res.BytesLive = cm.sw.bytesLive
+	cm.res.ObjectsLive = cm.sw.objectsLive
+	cm.res.MaxStale = cm.sw.maxStale
+	c.promoteSurvivors()
+	cm.res.Duration = time.Since(cm.start)
+	c.observeCycle(cm.traceBase, &cm.res)
+	return cm.res
+}

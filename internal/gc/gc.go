@@ -16,6 +16,7 @@
 package gc
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -131,14 +132,22 @@ type Result struct {
 	MarkDuration  time.Duration
 	StaleDuration time.Duration
 	SweepDuration time.Duration
+	// RemarkDuration is the final-remark pause's closure time (concurrent
+	// cycles only).
+	RemarkDuration time.Duration
+
+	// Concurrent reports that the cycle's closure ran mostly-concurrently
+	// with mutators (snapshot roots → concurrent mark → final remark)
+	// instead of inside one stop-the-world section.
+	Concurrent bool
 
 	// Degraded reports that the parallel closure was abandoned (worker
 	// panic or watchdog deadline) and the collection completed via the
 	// serial fallback tracer. The live set is identical to a fault-free
 	// run; only the trace cost differs.
 	Degraded bool
-	// DegradeCause names why ("worker-panic" or "watchdog"); empty when
-	// not degraded.
+	// DegradeCause names why ("worker-panic", "watchdog", or for concurrent
+	// cycles "satb-drop"); empty when not degraded.
 	DegradeCause string
 }
 
@@ -260,13 +269,24 @@ func (c *Collector) observeCycle(base int64, res *Result) {
 	gcArg := obs.A("gc", int64(res.Index))
 	ts := base
 	mark := res.MarkDuration.Nanoseconds()
-	tr.Emit(obs.Span("gc.mark", "gc", ts, mark, 0, gcArg, obs.AS("mode", res.Mode.String())))
+	markName := "gc.mark"
+	if res.Concurrent {
+		// Concurrent cycles get their own span name: this phase ran outside
+		// the pause, so tooling must not read it as stop-the-world time.
+		markName = "gc.mark.concurrent"
+	}
+	tr.Emit(obs.Span(markName, "gc", ts, mark, 0, gcArg, obs.AS("mode", res.Mode.String())))
 	if res.Mode == ModePrune {
 		// Pruning happens inside the in-use closure, so the prune span
 		// overlays the mark span.
 		tr.Emit(obs.Span("gc.prune", "gc", ts, mark, 0, gcArg, obs.A("pruned_refs", int64(res.PrunedRefs))))
 	}
 	ts += mark
+	if res.Concurrent {
+		remark := res.RemarkDuration.Nanoseconds()
+		tr.Emit(obs.Span("gc.remark", "gc", ts, remark, 0, gcArg, obs.AS("degraded", fmt.Sprint(res.Degraded))))
+		ts += remark
+	}
 	if res.Mode == ModeSelect {
 		stale := res.StaleDuration.Nanoseconds()
 		tr.Emit(obs.Span("gc.stale", "gc", ts, stale, 0, gcArg,
@@ -397,18 +417,22 @@ func (c *Collector) Collect(plan Plan) Result {
 	res.ObjectsLive = sw.objectsLive
 	res.MaxStale = sw.maxStale
 
-	// Generational bookkeeping: everything that survived a full-heap
-	// collection is old now.
+	c.promoteSurvivors()
+
+	res.Duration = time.Since(start)
+	c.observeCycle(traceBase, &res)
+	return res
+}
+
+// promoteSurvivors is the generational bookkeeping run after a full-heap
+// collection: everything that survived is old now. Call stop-the-world.
+func (c *Collector) promoteSurvivors() {
 	for _, id := range c.heap.YoungIDs() {
 		if obj, ok := c.heap.Lookup(id); ok {
 			obj.Promote()
 		}
 	}
 	c.heap.ResetYoung()
-
-	res.Duration = time.Since(start)
-	c.observeCycle(traceBase, &res)
-	return res
 }
 
 type sweepResult struct {

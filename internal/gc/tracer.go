@@ -59,6 +59,13 @@ type tracer struct {
 	epoch uint32
 	plan  Plan
 
+	// concurrent marks a closure that runs while mutators are live (the
+	// mostly-concurrent ModeNormal cycle). It changes one thing: barrier
+	// tagging must CAS instead of blind-store, because a plain SetRef could
+	// overwrite a reference a mutator stored after the tracer loaded the
+	// slot, silently resurrecting the old value.
+	concurrent bool
+
 	workers []*traceWorker
 	// idle counts workers that found no work anywhere. When it reaches
 	// len(workers) with every deque empty, the closure is complete.
@@ -136,12 +143,20 @@ func (t *tracer) markRoot(r heap.Ref) {
 	t.roots = append(t.roots, r.ID())
 }
 
-// run deals the claimed roots across the worker deques in batches
-// (round-robin, so large root sets start balanced) and processes the
-// closure to exhaustion. Afterwards it merges the workers' private
-// buffers: candidates and prune counts are concatenated, and buffered
-// StaleEdge observations are replayed serially.
+// run is the one-shot STW closure: deal the claimed roots, process to
+// exhaustion, merge the worker buffers. The concurrent driver calls the
+// three phases separately so it can re-seed and re-process at the final
+// remark before merging once.
 func (t *tracer) run() {
+	t.dealRoots()
+	t.process(len(t.workers) > 1)
+	t.merge()
+}
+
+// dealRoots distributes the accumulated root IDs across the worker deques
+// in batches (round-robin, so large root sets start balanced) and empties
+// t.roots, so markRoot can refill it for a later remark pass.
+func (t *tracer) dealRoots() {
 	n := len(t.workers)
 	for i := 0; len(t.roots) > 0; i++ {
 		bn := batchSize
@@ -153,29 +168,51 @@ func (t *tracer) run() {
 		t.roots = t.roots[bn:]
 		t.workers[i%n].deque.push(&workBatch{ids: ids})
 	}
+}
 
-	if n == 1 {
-		// The serial tracer runs on the calling goroutine with no recovery:
-		// it is the fallback of last resort, so a panic here is a genuine
-		// runtime bug that must crash loudly.
-		t.workers[0].run()
-	} else {
-		var wg sync.WaitGroup
-		for _, w := range t.workers {
-			wg.Add(1)
-			go func(w *traceWorker) {
-				defer wg.Done()
-				defer func() {
-					if r := recover(); r != nil {
-						t.recordPanic(r)
-					}
-				}()
-				w.run()
-			}(w)
+// process drives the dealt work to termination (or abort). It resets the
+// idle barrier first so it can be called again after a remark re-seed.
+// recoverPanics wraps each worker (including a lone serial worker) with
+// panic recovery; the STW serial fallback passes false because it is the
+// path of last resort — a panic there is a genuine runtime bug that must
+// crash loudly.
+func (t *tracer) process(recoverPanics bool) {
+	t.idle.Store(0)
+	if len(t.workers) == 1 {
+		if !recoverPanics {
+			t.workers[0].run()
+			return
 		}
-		wg.Wait()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.recordPanic(r)
+				}
+			}()
+			t.workers[0].run()
+		}()
+		return
 	}
+	var wg sync.WaitGroup
+	for _, w := range t.workers {
+		wg.Add(1)
+		go func(w *traceWorker) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					t.recordPanic(r)
+				}
+			}()
+			w.run()
+		}(w)
+	}
+	wg.Wait()
+}
 
+// merge folds the workers' private buffers into the tracer: candidates and
+// prune counts are concatenated, and buffered StaleEdge observations are
+// replayed serially. Call exactly once, after the final process pass.
+func (t *tracer) merge() {
 	for _, w := range t.workers {
 		// Poison side effects are kept even on abort (a poisoned slot stays
 		// poisoned; the re-run skips it), so prune counts always merge.
@@ -278,6 +315,20 @@ func (w *traceWorker) acquire() bool {
 	}
 }
 
+// setStaleTag arms the read barrier on a scanned slot currently holding r.
+// A concurrent tracer must CAS: a blind store could overwrite a reference a
+// mutator installed after the tracer loaded r, resurrecting the old value.
+// CAS failure just skips the tag — the mutator's new value stays untagged
+// until the next cycle scans it, which only delays staleness detection.
+func (t *tracer) setStaleTag(obj *heap.Object, slot int, r heap.Ref) {
+	tagged := r.Untagged().WithStale()
+	if t.concurrent {
+		obj.CompareAndSwapRef(slot, r, tagged)
+		return
+	}
+	obj.SetRef(slot, tagged)
+}
+
 // anyQueued reports whether any worker's deque still holds a batch.
 func (t *tracer) anyQueued() bool {
 	for _, w := range t.workers {
@@ -337,7 +388,7 @@ func (w *traceWorker) scan(id heap.ObjectID) {
 				// Defer to the stale closure; tag the slot so the barrier
 				// still fires if the program uses the reference later.
 				if t.plan.TagRefs && !r.IsStaleTagged() {
-					obj.SetRef(slot, r.Untagged().WithStale())
+					t.setStaleTag(obj, slot, r)
 				}
 				w.candidates = append(w.candidates, candidate{src: src, tgt: tgtClass, ref: r.Untagged()})
 				continue
@@ -359,7 +410,7 @@ func (w *traceWorker) scan(id heap.ObjectID) {
 		// set (references stay tagged until the program uses them, so this
 		// avoids re-dirtying most of the heap every collection).
 		if t.plan.TagRefs && !r.IsStaleTagged() {
-			obj.SetRef(slot, r.Untagged().WithStale())
+			t.setStaleTag(obj, slot, r)
 		}
 		if tgt.TryMark(t.epoch) {
 			w.local = append(w.local, r.ID())
@@ -428,7 +479,7 @@ func (t *tracer) traceStaleRoot(root heap.Ref) uint64 {
 			}
 			child := t.heap.Get(r)
 			if t.plan.TagRefs && !r.IsStaleTagged() {
-				o.SetRef(slot, r.Untagged().WithStale())
+				t.setStaleTag(o, slot, r)
 			}
 			if child.TryMark(t.epoch) {
 				stack = append(stack, r.ID())

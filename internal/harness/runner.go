@@ -97,6 +97,10 @@ type Config struct {
 	// "" or "safepoint" (default), or "rwmutex" (the legacy shared-lock
 	// path, kept for equivalence runs).
 	WorldLock string
+	// MarkMode selects the ModeNormal closure strategy: "" or "stw"
+	// (default), or "concurrent" (mostly-concurrent marking behind the SATB
+	// deletion barrier; requires the safepoint world lock).
+	MarkMode string
 	// Obs attaches the observability layer (metrics + trace-event tracer)
 	// to the run's VM; after Run returns, obs.WriteArtifacts exports the
 	// trace and metrics snapshot. Nil disables it.
@@ -226,6 +230,13 @@ func Run(cfg Config) (Result, error) {
 		opts.WorldLock = vm.WorldRWMutex
 	default:
 		return Result{}, fmt.Errorf("harness: unknown world-lock mode %q", cfg.WorldLock)
+	}
+	switch cfg.MarkMode {
+	case "", "stw":
+	case "concurrent":
+		opts.MarkMode = vm.MarkConcurrent
+	default:
+		return Result{}, fmt.Errorf("harness: unknown mark mode %q", cfg.MarkMode)
 	}
 	opts.OnGC = func(ev vm.Event) {
 		res.GCSamples = append(res.GCSamples, GCSample{

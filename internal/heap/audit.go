@@ -74,7 +74,7 @@ func (h *Heap) Audit() []string {
 			sink.addf("object %d: carved ID has no backing chunk", id)
 			continue
 		}
-		if obj.size == 0 {
+		if obj.Size() == 0 {
 			continue
 		}
 		live[id] = true
@@ -83,12 +83,12 @@ func (h *Heap) Audit() []string {
 		if obj.home >= numShards {
 			sink.addf("object %d: home shard %d out of range", id, obj.home)
 		}
-		perShard[si].liveBytes += obj.size
+		perShard[si].liveBytes += obj.Size()
 		perShard[si].liveObjs++
 		if obj.IsOffloaded() {
-			offloadedBytes += obj.size
+			offloadedBytes += obj.Size()
 		} else {
-			residentBytes += obj.size
+			residentBytes += obj.Size()
 		}
 	}
 

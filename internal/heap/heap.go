@@ -86,6 +86,12 @@ type Heap struct {
 	// generational enables nursery tracking: new objects are flagged young
 	// and listed for minor sweeps.
 	generational atomic.Bool
+	// allocMark, when nonzero, is the mark epoch stamped onto every new
+	// object at birth ("allocate black"): while a concurrent mark is in
+	// flight, objects born after the snapshot are live by definition and
+	// must not be collected by the cycle's sweep. Zero (the STW default)
+	// leaves the recycled slot's old mark word in place.
+	allocMark atomic.Uint32
 	// allocBytes counts cumulative allocated bytes, maintained only in
 	// generational mode where the nursery trigger needs a cheap exact read.
 	allocBytes atomic.Uint64
@@ -134,6 +140,13 @@ func (h *Heap) FreeListRepairs() uint64 { return h.freeListRepairs.Load() }
 // EnableGenerations turns on nursery tracking: subsequently allocated
 // objects are young until they survive a collection.
 func (h *Heap) EnableGenerations() { h.generational.Store(true) }
+
+// SetAllocMarkEpoch arms (nonzero) or disarms (zero) black allocation:
+// while armed, every new object's mark word is stamped with the given epoch
+// at birth, so a concurrent mark cycle's sweep treats it as live. The VM
+// arms it inside the cycle's initial stop-the-world pause and disarms it
+// after sweep completes.
+func (h *Heap) SetAllocMarkEpoch(epoch uint32) { h.allocMark.Store(epoch) }
 
 // YoungIDs returns a copy of the current nursery membership. Call only
 // stop-the-world.
@@ -275,7 +288,6 @@ func (h *Heap) allocate(ctx *AllocContext, class ClassID, opts []AllocOption) (R
 	}
 	atomic.StoreUint32(&obj.flags, flags)
 	obj.home = uint8(si)
-	obj.size = size
 	if cap(obj.refs) >= shape.refSlots {
 		obj.refs = obj.refs[:shape.refSlots]
 		for i := range obj.refs {
@@ -284,8 +296,18 @@ func (h *Heap) allocate(ctx *AllocContext, class ClassID, opts []AllocOption) (R
 	} else {
 		obj.refs = make([]uint64, shape.refSlots)
 	}
-	// The mark word is left at its previous value: epochs only ever move
-	// forward, so a recycled slot can never appear already-marked.
+	// With no concurrent mark in flight the mark word is left at its
+	// previous value: epochs only ever move forward, so a recycled slot can
+	// never appear already-marked. While a concurrent mark is running the
+	// object is born black (stamped with the cycle's epoch) so the
+	// background sweep cannot free it.
+	if am := h.allocMark.Load(); am != 0 {
+		atomic.StoreUint32(&obj.mark, am)
+	}
+	// Publish size LAST: it is the slot's liveness word, and the background
+	// sweeper's index-order probes gate on it. The atomic store orders the
+	// header/refs initialization above before the slot becomes visible.
+	obj.setSize(size)
 	s.bytesAlloc += size
 	s.objectsAlloc++
 	s.objectsUsed++
@@ -311,7 +333,7 @@ func (h *Heap) Get(r Ref) *Object {
 	}
 	id := r.ID()
 	obj := h.slot(id)
-	if obj == nil || obj.size == 0 {
+	if obj == nil || obj.Size() == 0 {
 		panic(fmt.Sprintf("heap: dereference of dead or unallocated %v", r.Untagged()))
 	}
 	return obj
@@ -349,7 +371,7 @@ func (h *Heap) GetCached(r Ref, cc *ChunkCache) *Object {
 		cc.c = c
 	}
 	obj := &c[uint64(id)&chunkMask]
-	if obj.size == 0 {
+	if obj.Size() == 0 {
 		return nil
 	}
 	return obj
@@ -360,12 +382,12 @@ func (h *Heap) GetCached(r Ref, cc *ChunkCache) *Object {
 // disjoint objects concurrently. Freeing an already-free slot panics.
 func (h *Heap) Free(id ObjectID) {
 	obj := h.slot(id)
-	if obj == nil || obj.size == 0 {
+	if obj == nil || obj.Size() == 0 {
 		panic(fmt.Sprintf("heap: double free of object %d", id))
 	}
 	s := &h.shards[obj.home&shardMask]
 	s.mu.Lock()
-	if obj.size == 0 { // re-check under the home shard's lock
+	if obj.Size() == 0 { // re-check under the home shard's lock
 		s.mu.Unlock()
 		panic(fmt.Sprintf("heap: double free of object %d", id))
 	}
@@ -385,7 +407,7 @@ func (h *Heap) FreeBatch(ids []ObjectID) {
 	var buckets [numShards][]ObjectID
 	for _, id := range ids {
 		obj := h.slot(id)
-		if obj == nil || obj.size == 0 {
+		if obj == nil || obj.Size() == 0 {
 			panic(fmt.Sprintf("heap: double free of object %d", id))
 		}
 		si := obj.home & shardMask
@@ -400,7 +422,7 @@ func (h *Heap) FreeBatch(ids []ObjectID) {
 		s.mu.Lock()
 		for _, id := range buckets[si] {
 			obj := h.slot(id)
-			if obj.size == 0 {
+			if obj.Size() == 0 {
 				s.mu.Unlock()
 				panic(fmt.Sprintf("heap: double free of object %d", id))
 			}
@@ -441,7 +463,7 @@ func (h *Heap) probeFreeListLocked(s *shard) int {
 	out := s.free[:0]
 	for _, id := range s.free {
 		obj := h.slot(id)
-		if obj == nil || obj.size != 0 {
+		if obj == nil || obj.Size() != 0 {
 			repaired++
 			continue
 		}
@@ -465,7 +487,7 @@ func (h *Heap) probeFreeListLocked(s *shard) int {
 // returns the heap-resident bytes to credit back to the used counter (zero
 // for offloaded objects, whose bytes live on disk). Caller holds s.mu.
 func (h *Heap) freeLocked(s *shard, id ObjectID, obj *Object) uint64 {
-	size := obj.size
+	size := obj.Size()
 	heapBytes := size
 	if obj.IsOffloaded() {
 		h.diskMu.Lock()
@@ -476,7 +498,7 @@ func (h *Heap) freeLocked(s *shard, id ObjectID, obj *Object) uint64 {
 	s.bytesFreed += size
 	s.objectsFreed++
 	s.objectsUsed--
-	obj.size = 0
+	obj.setSize(0)
 	obj.class = 0
 	obj.refs = obj.refs[:0]
 	atomic.StoreUint32(&obj.flags, 0)
@@ -492,7 +514,7 @@ func (h *Heap) ForEach(fn func(ObjectID, *Object)) {
 	next := ObjectID(h.next.Load())
 	for id := ObjectID(1); id < next; id++ {
 		obj := h.slot(id)
-		if obj != nil && obj.size != 0 {
+		if obj != nil && obj.Size() != 0 {
 			fn(id, obj)
 		}
 	}
@@ -506,7 +528,7 @@ func (h *Heap) MaxID() ObjectID { return ObjectID(h.next.Load()) }
 // sweeper uses this to shard iteration without holding any heap lock.
 func (h *Heap) Lookup(id ObjectID) (*Object, bool) {
 	obj := h.slot(id)
-	if obj == nil || obj.size == 0 {
+	if obj == nil || obj.Size() == 0 {
 		return nil, false
 	}
 	return obj, true

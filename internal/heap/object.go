@@ -33,6 +33,10 @@ type Object struct {
 	// so an object is allocated and freed under the same shard lock.
 	home uint8
 	// size is the total simulated byte size (header + ref slots + scalar).
+	// Accessed atomically: it doubles as the slot's liveness word (0 = free),
+	// and with concurrent sweep the background sweeper's liveness probes race
+	// allocation. allocate publishes it last, so a nonzero size load acquires
+	// the rest of the object's initialization.
 	size uint64
 	// refs are the object's tagged reference words.
 	refs []uint64
@@ -42,7 +46,10 @@ type Object struct {
 func (o *Object) Class() ClassID { return o.class }
 
 // Size returns the object's total simulated size in bytes.
-func (o *Object) Size() uint64 { return o.size }
+func (o *Object) Size() uint64 { return atomic.LoadUint64(&o.size) }
+
+// setSize atomically stores the size/liveness word.
+func (o *Object) setSize(n uint64) { atomic.StoreUint64(&o.size, n) }
 
 // NumRefs returns the number of reference slots.
 func (o *Object) NumRefs() int { return len(o.refs) }
@@ -131,6 +138,14 @@ func (o *Object) SetRef(slot int, r Ref) { atomic.StoreUint64(&o.refs[slot], uin
 // mutator store (§4.1: "[iff a.f == t]").
 func (o *Object) CompareAndSwapRef(slot int, old, new Ref) bool {
 	return atomic.CompareAndSwapUint64(&o.refs[slot], uint64(old), uint64(new))
+}
+
+// SwapRef atomically stores r into the slot and returns the previous value.
+// The SATB deletion barrier uses this so the overwritten reference it must
+// log is exactly the one evicted — a separate load-then-store pair could
+// lose a value stored by a racing mutator without ever logging it.
+func (o *Object) SwapRef(slot int, r Ref) Ref {
+	return Ref(atomic.SwapUint64(&o.refs[slot], uint64(r)))
 }
 
 // Marked reports whether the object has been reached in the collection with

@@ -78,7 +78,7 @@ func (h *Heap) Disk() DiskStats {
 // and is a no-op for already-offloaded objects.
 func (h *Heap) Offload(id ObjectID) error {
 	obj := h.slot(id)
-	if obj == nil || obj.size == 0 {
+	if obj == nil || obj.Size() == 0 {
 		panic("heap: offload of a dead object")
 	}
 	h.diskMu.Lock()
@@ -86,15 +86,15 @@ func (h *Heap) Offload(id ObjectID) error {
 		h.diskMu.Unlock()
 		return nil
 	}
-	if h.disk.BytesUsed+obj.size > h.disk.Limit {
+	if h.disk.BytesUsed+obj.Size() > h.disk.Limit {
 		h.diskMu.Unlock()
 		return ErrDiskFull
 	}
 	obj.setOffloaded(true)
-	h.disk.BytesUsed += obj.size
+	h.disk.BytesUsed += obj.Size()
 	h.disk.Offloads++
 	h.diskMu.Unlock()
-	h.creditBytes(obj.size)
+	h.creditBytes(obj.Size())
 	return nil
 }
 
@@ -103,7 +103,7 @@ func (h *Heap) Offload(id ObjectID) error {
 // or offloads more and retries), and is a no-op for resident objects.
 func (h *Heap) FaultIn(id ObjectID) error {
 	obj := h.slot(id)
-	if obj == nil || obj.size == 0 {
+	if obj == nil || obj.Size() == 0 {
 		panic("heap: fault-in of a dead object")
 	}
 	if !obj.IsOffloaded() {
@@ -112,17 +112,17 @@ func (h *Heap) FaultIn(id ObjectID) error {
 	// Reserve the heap bytes first (no locks held), then settle the state
 	// transition under diskMu; if another fault-in won the race, give the
 	// reservation back.
-	if !h.reserveExact(obj.size) {
+	if !h.reserveExact(obj.Size()) {
 		return ErrHeapFull
 	}
 	h.diskMu.Lock()
 	if !obj.IsOffloaded() {
 		h.diskMu.Unlock()
-		h.creditBytes(obj.size)
+		h.creditBytes(obj.Size())
 		return nil
 	}
 	obj.setOffloaded(false)
-	h.disk.BytesUsed -= obj.size
+	h.disk.BytesUsed -= obj.Size()
 	h.disk.FaultIns++
 	h.diskMu.Unlock()
 	return nil

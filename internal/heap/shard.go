@@ -174,7 +174,7 @@ func (h *Heap) popFreeLocked(s *shard) (ObjectID, bool) {
 		}
 		id := s.free[n-1]
 		s.free = s.free[:n-1]
-		if obj := h.slot(id); obj == nil || obj.size != 0 {
+		if obj := h.slot(id); obj == nil || obj.Size() != 0 {
 			h.freeListRepairs.Add(1)
 			continue
 		}

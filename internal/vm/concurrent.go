@@ -1,0 +1,106 @@
+package vm
+
+import (
+	"time"
+
+	"leakpruning/internal/faultinject"
+	"leakpruning/internal/gc"
+)
+
+// collectConcurrent runs one full collection cycle in mostly-concurrent
+// mark mode (Options.MarkMode == MarkConcurrent). Caller holds cycleMu.
+//
+// A ModeNormal cycle is split into three short pauses with the expensive
+// phases running while mutators execute:
+//
+//	pause 1  plan the cycle, snapshot roots (gc.StartConcurrent), arm black
+//	         allocation and the SATB deletion barriers
+//	         ... concurrent mark (gc.RunMark) ...
+//	pause 2  drain the SATB buffers, final remark (gc.FinishMark) — or
+//	         degrade to a fresh fully-STW closure on any fault
+//	         ... concurrent sweep (gc.Sweep) ...
+//	pause 3  promotion, triggers, controller transition, OnGC
+//
+// SELECT and PRUNE cycles (and every cycle in STW mark mode) keep the
+// one-pause path: candidate selection and poisoning need a single
+// consistent closure (§3.2, §4.2), so when the controller plans one, this
+// function runs it fully-STW inline under the first pause.
+func (v *VM) collectConcurrent() gc.Result {
+	var (
+		cm     *gc.ConcurrentMark
+		pause1 time.Duration
+	)
+	// Pause 1 — snapshot. Each pause body holds the world via its own defer
+	// so a panicking callback cannot leave the world stopped.
+	if res := func() *gc.Result {
+		t0 := time.Now()
+		v.stopTheWorld()
+		defer v.startTheWorld()
+		plan := v.preparePlan()
+		if plan.Mode != gc.ModeNormal {
+			r := v.finishCollect(v.collector.Collect(plan), nil, t0)
+			return &r
+		}
+		cm = v.collector.StartConcurrent(plan)
+		// Everything allocated from here to the end of the cycle is born
+		// black on the cycle's epoch, so neither the marker nor the sweeper
+		// ever needs to see it.
+		v.heap.SetAllocMarkEpoch(cm.Epoch())
+		v.armSATB()
+		v.gcActive.Store(true)
+		pause1 = time.Since(t0)
+		return nil
+	}(); res != nil {
+		return *res
+	}
+
+	// The closure over the snapshot runs with the world started; at
+	// GOMAXPROCS=1 its workers interleave with mutators through the Go
+	// scheduler. Mutators may allocate (born black) and overwrite references
+	// (logged by the SATB barrier) freely.
+	cm.RunMark()
+
+	// Pause 2 — final remark: hand the marker everything the deletion
+	// barriers logged plus a fresh root snapshot, and drive the closure to
+	// termination. Any fault — a detected barrier drop, a worker panic, an
+	// abort — makes FinishMark bump the epoch and re-run the whole closure
+	// serially under this pause: exactly the STW oracle, just inside a
+	// longer pause.
+	pause2 := func() time.Duration {
+		t0 := time.Now()
+		v.stopTheWorld()
+		defer v.startTheWorld()
+		grays := v.drainSATB()
+		cause := ""
+		if v.satbDropped.Load() {
+			cause = "satb-drop"
+		}
+		cm.FinishMark(grays, cause)
+		// Re-arm black allocation on the cycle's epoch — FinishMark may have
+		// bumped it while degrading, which invalidated every earlier mark
+		// including the born-black ones. Objects allocated during the
+		// concurrent sweep below must be born black on the final epoch so
+		// the sweeper cannot free them.
+		v.heap.SetAllocMarkEpoch(cm.Epoch())
+		if v.inj.Should(faultinject.RemarkStall) {
+			// A remark that is slow to finish: stretches this pause without
+			// changing any observable result.
+			safepointStall()
+		}
+		return time.Since(t0)
+	}()
+
+	// Concurrent sweep: unmarked objects are unreachable (the SATB
+	// argument), so reclaiming them under the shard locks is invisible to
+	// mutators. Finalizers run here, outside any pause.
+	cm.Sweep()
+
+	// Pause 3 — close out the cycle.
+	t0 := time.Now()
+	v.stopTheWorld()
+	defer v.startTheWorld()
+	v.heap.SetAllocMarkEpoch(0)
+	v.gcActive.Store(false)
+	res := cm.Finish()
+	return v.finishCollect(res, []time.Duration{pause1, pause2}, t0)
+}

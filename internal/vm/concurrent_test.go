@@ -1,0 +1,298 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"testing"
+
+	"leakpruning/internal/core"
+	"leakpruning/internal/faultinject"
+	"leakpruning/internal/gc"
+	"leakpruning/internal/heap"
+	"leakpruning/internal/vmerrors"
+)
+
+// liveSetHash fingerprints the entire live heap: every object's identity,
+// class, size, stale counter, and raw reference words (tags included). Two
+// runs whose per-cycle hashes agree have byte-identical live sets — the
+// strongest form of the mark-mode equivalence the concurrent path promises.
+// Called from OnGC, i.e. inside the cycle's final stop-the-world pause.
+func liveSetHash(h *heap.Heap) uint64 {
+	fn := fnv.New64a()
+	var buf [8]byte
+	word := func(x uint64) {
+		for i := range buf {
+			buf[i] = byte(x >> (8 * i))
+		}
+		fn.Write(buf[:])
+	}
+	h.ForEach(func(id heap.ObjectID, obj *heap.Object) {
+		word(uint64(id))
+		word(uint64(obj.Class()))
+		word(obj.Size())
+		word(uint64(obj.Stale()))
+		for slot, n := 0, obj.NumRefs(); slot < n; slot++ {
+			word(uint64(obj.Ref(slot)))
+		}
+	})
+	return fn.Sum64()
+}
+
+// markCycle is what one collection looked like to the equivalence check.
+type markCycle struct {
+	mode     string
+	live     uint64 // liveSetHash after the cycle
+	cands    int
+	pruned   int
+	pauses   int
+	degraded bool
+}
+
+// markEquivalenceRun executes the deterministic single-threaded leak
+// workload (the TestWorldLockEquivalence program) under the given mark mode
+// and returns a fingerprint every mode must agree on: per-cycle live-set
+// hashes, SELECT candidate counts, PRUNE decisions, the prune event log,
+// and the post-mortem probe walks. Pause structure and degradation are
+// reported separately via cycles, since those are exactly what the modes
+// are allowed to differ on.
+func markEquivalenceRun(t *testing.T, mode MarkMode, inj *faultinject.Injector) (string, []markCycle, Stats) {
+	t.Helper()
+	var cycles []markCycle
+	var v *VM
+	v = New(Options{
+		HeapLimit:      256 << 10,
+		EnableBarriers: true,
+		GCWorkers:      1,
+		Policy:         core.DefaultPolicy{},
+		MarkMode:       mode,
+		FaultInjector:  inj,
+		OnGC: func(ev Event) {
+			cycles = append(cycles, markCycle{
+				mode:     ev.Result.Mode.String(),
+				live:     liveSetHash(v.heap),
+				cands:    ev.Result.Candidates,
+				pruned:   ev.Result.PrunedRefs,
+				pauses:   len(ev.Pauses),
+				degraded: ev.Result.Degraded,
+			})
+		},
+	})
+	holder := v.DefineClass("Holder", 2, 0)
+	payload := v.DefineClass("Payload", 0, 2048)
+	scratch := v.DefineClass("Scratch", 0, 64)
+	g := v.AddGlobal()
+	err := v.RunThread("leaker", func(th *Thread) {
+		for i := 0; i < 1500; i++ {
+			th.Scope(func() {
+				h := th.New(holder)
+				th.Store(h, 0, th.New(payload))
+				th.Store(h, 1, th.LoadGlobal(g))
+				th.StoreGlobal(g, h)
+				for j := 0; j < 4; j++ {
+					th.New(scratch)
+				}
+			})
+		}
+	})
+	if err != nil {
+		t.Fatalf("mark mode %v: leak workload died: %v", mode, err)
+	}
+
+	fp := ""
+	for i, c := range cycles {
+		fp += fmt.Sprintf("[%d %s live=%x cands=%d pruned=%d]", i, c.mode, c.live, c.cands, c.pruned)
+	}
+	st := v.Stats()
+	for _, ev := range v.PruneEvents() {
+		fp += fmt.Sprintf("{gc%d %s refs=%d bytes=%d}", ev.GCIndex, ev.Selection, ev.PrunedRefs, ev.BytesFreed)
+	}
+	for i := 0; i < 3; i++ {
+		fp += fmt.Sprintf("%d=%q;", i, equivalenceProbe(v, g))
+	}
+	if v.Stats().PoisonTraps == 0 {
+		t.Fatalf("mark mode %v: probes never hit a pruned edge", mode)
+	}
+	fp += fmt.Sprintf("collections=%d pruned=%d", st.Collections, st.PrunedRefs)
+	if viol := v.Verify(); len(viol) != 0 {
+		t.Fatalf("mark mode %v: heap invariants violated: %v", mode, viol)
+	}
+	return fp, cycles, st
+}
+
+// TestMarkModeEquivalence is the concurrent path's correctness oracle: the
+// same deterministic leak workload, run fully-STW and mostly-concurrent,
+// must produce byte-identical live sets after every collection, identical
+// SELECT candidate counts, identical PRUNE poison decisions, and identical
+// trap sequences when the pruned structure is probed — the mark mode must
+// be invisible to program semantics. A concurrent re-run checks the mode
+// against itself for determinism, and the pause structure is asserted on
+// the side: ModeNormal cycles get three short pauses, SELECT/PRUNE keep
+// their single fully-STW pause.
+func TestMarkModeEquivalence(t *testing.T) {
+	stw, stwCycles, _ := markEquivalenceRun(t, MarkSTW, nil)
+	con, conCycles, _ := markEquivalenceRun(t, MarkConcurrent, nil)
+	if stw != con {
+		t.Fatalf("mark modes diverged:\nstw:        %s\nconcurrent: %s", stw, con)
+	}
+	if again, _, _ := markEquivalenceRun(t, MarkConcurrent, nil); again != con {
+		t.Fatalf("concurrent run not deterministic:\nfirst:  %s\nsecond: %s", con, again)
+	}
+	for i, c := range stwCycles {
+		if c.pauses != 1 {
+			t.Fatalf("stw cycle %d: %d pauses, want 1", i, c.pauses)
+		}
+	}
+	var normals int
+	for i, c := range conCycles {
+		want := 1 // SELECT/PRUNE stay fully STW
+		if c.mode == gc.ModeNormal.String() {
+			want = 3
+			normals++
+		}
+		if c.pauses != want {
+			t.Fatalf("concurrent cycle %d (%s): %d pauses, want %d", i, c.mode, c.pauses, want)
+		}
+		if c.degraded {
+			t.Fatalf("concurrent cycle %d degraded without any fault armed", i)
+		}
+	}
+	if normals == 0 {
+		t.Fatal("workload drove no ModeNormal cycles; the comparison is vacuous")
+	}
+}
+
+// TestConcurrentDegradeEquivalence arms the SATB barrier-drop fault on
+// every draw, so every concurrent ModeNormal cycle detects a lost buffer at
+// the remark pause and degrades to a fresh fully-STW closure. The degraded
+// runs must still reproduce the STW oracle's fingerprint exactly — the
+// degradation path is a sound fallback, not a different collector.
+func TestConcurrentDegradeEquivalence(t *testing.T) {
+	stw, _, _ := markEquivalenceRun(t, MarkSTW, nil)
+	inj := faultinject.New(1)
+	inj.Arm(faultinject.SATBBarrierDrop, 1.0)
+	con, cycles, st := markEquivalenceRun(t, MarkConcurrent, inj)
+	if stw != con {
+		t.Fatalf("degraded concurrent run diverged from the STW oracle:\nstw:      %s\ndegraded: %s", stw, con)
+	}
+	var degraded int
+	for _, c := range cycles {
+		if c.mode == gc.ModeNormal.String() {
+			if !c.degraded {
+				t.Fatal("ModeNormal cycle did not degrade with the drop fault armed on every draw")
+			}
+			degraded++
+		} else if c.degraded {
+			t.Fatalf("%s cycle reported degradation; SELECT/PRUNE never run concurrently", c.mode)
+		}
+	}
+	if degraded == 0 || st.DegradedTraces != uint64(degraded) {
+		t.Fatalf("DegradedTraces = %d, want %d (one per ModeNormal cycle)", st.DegradedTraces, degraded)
+	}
+}
+
+// TestConcurrentMarkStress is the multithreaded half of the soundness
+// argument: 8 mutator goroutines store into a shared structure while
+// concurrent cycles mark underneath them, so the SATB deletion barrier and
+// black allocation actually carry load (single-threaded runs never store
+// during a mark — the mutator is busy driving the cycle). AuditEveryGC
+// checks the post-sweep heap inside every cycle's final pause; under -race
+// this is the main evidence that SwapRef-based barrier logging and the
+// buffer handoff at the remark pause are properly synchronized.
+func TestConcurrentMarkStress(t *testing.T) {
+	v := New(Options{
+		HeapLimit:      2 << 20,
+		EnableBarriers: true,
+		GCWorkers:      2,
+		Policy:         core.DefaultPolicy{},
+		MarkMode:       MarkConcurrent,
+		AuditEveryGC:   true,
+	})
+	node := v.DefineClass("Node", 2, 1024)
+	scratch := v.DefineClass("Scratch", 0, 64)
+	shared := v.AddGlobal()
+
+	const workers = 8
+	const iters = 400
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = v.RunThread(fmt.Sprintf("stress-%d", w), func(th *Thread) {
+				for i := 0; i < iters; i++ {
+					th.Scope(func() {
+						n := th.New(node)
+						th.Store(n, 0, th.LoadGlobal(shared))
+						th.StoreGlobal(shared, n)
+						cur := th.LoadGlobal(shared)
+						for d := 0; d < 6 && !cur.IsNull(); d++ {
+							next := th.Load(cur, 0)
+							th.Store(cur, 1, next)
+							cur = next
+						}
+						th.New(scratch)
+						if i%100 == w {
+							v.Collect()
+						}
+						if i%64 == 63 {
+							th.StoreGlobal(shared, heap.Null)
+						}
+					})
+				}
+			})
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err == nil {
+			continue
+		}
+		var ie *vmerrors.InternalError
+		if !errors.As(err, &ie) && !vmerrors.IsOOM(err) {
+			t.Fatalf("worker %d: unexpected error: %v", w, err)
+		}
+	}
+	st := v.Stats()
+	if st.Collections == 0 {
+		t.Fatal("expected collections under churn")
+	}
+	if st.AuditViolations != 0 {
+		t.Fatalf("per-cycle audits found %d violations: %v", st.AuditViolations, v.LastAudit())
+	}
+	if violations := v.Verify(); len(violations) != 0 {
+		t.Fatalf("heap invariants violated after stress: %v", violations)
+	}
+}
+
+// TestMarkModeValidation: concurrent marking's configuration prerequisites
+// are enforced at construction.
+func TestMarkModeValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		opts   Options
+		option string
+	}{
+		{"unknown", Options{MarkMode: MarkMode(42)}, "MarkMode"},
+		{"rwmutex", Options{MarkMode: MarkConcurrent, WorldLock: WorldRWMutex}, "MarkMode+WorldLock"},
+		{"offload", Options{MarkMode: MarkConcurrent, OffloadDisk: 1 << 20, EnableBarriers: true},
+			"MarkMode+OffloadDisk"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("expected New to panic")
+				}
+				var oe *OptionError
+				if err, ok := r.(error); !ok || !errors.As(err, &oe) || oe.Option != tc.option {
+					t.Fatalf("unexpected panic: %v (want option %s)", r, tc.option)
+				}
+			}()
+			New(tc.opts)
+		})
+	}
+}

@@ -14,7 +14,7 @@ import (
 // single-threaded leak workload with the observability layer attached, probes
 // the pruned structure until it traps, and returns the normalized trace
 // stream (timestamps replaced by sink sequence numbers, durations zeroed).
-func goldenTraceRun(t *testing.T, mode WorldLockMode) string {
+func goldenTraceRun(t *testing.T, mode WorldLockMode, mark MarkMode) string {
 	t.Helper()
 	o := obs.New()
 	v := New(Options{
@@ -23,6 +23,7 @@ func goldenTraceRun(t *testing.T, mode WorldLockMode) string {
 		GCWorkers:      1,
 		Policy:         core.DefaultPolicy{},
 		WorldLock:      mode,
+		MarkMode:       mark,
 		Obs:            o,
 	})
 	holder := v.DefineClass("Holder", 2, 0)
@@ -66,13 +67,13 @@ func goldenTraceRun(t *testing.T, mode WorldLockMode) string {
 // event emitted outside the stop-the-world section it claims, a protocol
 // leaking into the event stream).
 func TestGoldenTraceDeterminism(t *testing.T) {
-	first := goldenTraceRun(t, WorldSafepoint)
-	second := goldenTraceRun(t, WorldSafepoint)
+	first := goldenTraceRun(t, WorldSafepoint, MarkSTW)
+	second := goldenTraceRun(t, WorldSafepoint, MarkSTW)
 	if first != second {
 		t.Fatalf("safepoint traces differ between identical runs:\nrun1 %d bytes\nrun2 %d bytes\n%s",
 			len(first), len(second), firstDiff(first, second))
 	}
-	legacy := goldenTraceRun(t, WorldRWMutex)
+	legacy := goldenTraceRun(t, WorldRWMutex, MarkSTW)
 	if first != legacy {
 		t.Fatalf("trace differs across world-lock modes:\nsafepoint %d bytes\nrwmutex %d bytes\n%s",
 			len(first), len(legacy), firstDiff(first, legacy))
@@ -99,6 +100,33 @@ func TestGoldenTraceDeterminism(t *testing.T) {
 				t.Fatalf("event %d lacks %q: %v", i, key, ev)
 			}
 		}
+	}
+}
+
+// TestGoldenTraceDeterminismConcurrent extends the golden test to the
+// mostly-concurrent mark mode. The trace legitimately differs from the STW
+// stream in span structure (gc.mark.concurrent and gc.remark spans, three
+// stw.stop sections per ModeNormal cycle), but the single-threaded workload
+// is still fully deterministic, so two identical runs must produce
+// byte-identical normalized traces — any diff means the concurrent driver
+// leaked real scheduling nondeterminism into what the collector observed.
+func TestGoldenTraceDeterminismConcurrent(t *testing.T) {
+	first := goldenTraceRun(t, WorldSafepoint, MarkConcurrent)
+	second := goldenTraceRun(t, WorldSafepoint, MarkConcurrent)
+	if first != second {
+		t.Fatalf("concurrent-mark traces differ between identical runs:\nrun1 %d bytes\nrun2 %d bytes\n%s",
+			len(first), len(second), firstDiff(first, second))
+	}
+	for _, want := range []string{
+		`"gc.mark.concurrent"`, `"gc.remark"`, `"gc.sweep"`, `"gc.prune"`,
+		`"stw.stop"`, `"poison.trap"`,
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("concurrent trace is missing %s events", want)
+		}
+	}
+	if strings.Contains(first, `"degraded":"true"`) {
+		t.Error("trace reports a degraded remark with no fault armed")
 	}
 }
 

@@ -41,6 +41,31 @@ func (b BarrierVariant) String() string {
 	return "conditional"
 }
 
+// MarkMode selects how ModeNormal collections compute the in-use closure.
+type MarkMode int
+
+const (
+	// MarkSTW (the default) runs the whole closure inside one
+	// stop-the-world pause — the original behavior, kept as the equivalence
+	// oracle for the concurrent path.
+	MarkSTW MarkMode = iota
+	// MarkConcurrent splits ModeNormal cycles into short pauses: a root
+	// snapshot, a mutator-concurrent mark (SATB deletion barrier on Store,
+	// black allocation), a brief final remark, and a background sweep.
+	// SELECT and PRUNE cycles remain fully stop-the-world — the paper's
+	// candidate selection and reference poisoning require one consistent
+	// closure (§3.2, §4.2).
+	MarkConcurrent
+)
+
+// String names the mark mode.
+func (m MarkMode) String() string {
+	if m == MarkConcurrent {
+		return "concurrent"
+	}
+	return "stw"
+}
+
 // Options configures a VM. The zero value is usable after applying
 // defaults: a 64 MB simulated heap, barriers enabled, pruning disabled.
 type Options struct {
@@ -141,6 +166,13 @@ type Options struct {
 	// mutator fast paths never touch a shared lock; WorldRWMutex is the
 	// original shared-RWMutex protocol, kept for equivalence testing.
 	WorldLock WorldLockMode
+
+	// MarkMode selects the ModeNormal closure strategy: MarkSTW (default)
+	// traces inside the pause; MarkConcurrent marks concurrently with
+	// mutators behind an SATB deletion barrier, shrinking pauses to root
+	// snapshot + remark + bookkeeping. Requires WorldSafepoint and is
+	// mutually exclusive with OffloadDisk.
+	MarkMode MarkMode
 
 	// Obs attaches the observability layer (metrics registry + trace-event
 	// tracer, see internal/obs): GC phase spans, safepoint stop-latency
@@ -244,6 +276,26 @@ func (o Options) validate() error {
 	if o.WorldLock != WorldSafepoint && o.WorldLock != WorldRWMutex {
 		return &OptionError{Option: "WorldLock",
 			Reason: fmt.Sprintf("unknown mode %d", int(o.WorldLock))}
+	}
+	if o.MarkMode != MarkSTW && o.MarkMode != MarkConcurrent {
+		return &OptionError{Option: "MarkMode",
+			Reason: fmt.Sprintf("unknown mode %d", int(o.MarkMode))}
+	}
+	if o.MarkMode == MarkConcurrent {
+		if o.WorldLock != WorldSafepoint {
+			// The SATB buffers drain through the safepoint protocol's ragged
+			// barrier; the legacy RWMutex world lock has no per-thread
+			// safepoint state to piggyback on.
+			return &OptionError{Option: "MarkMode+WorldLock",
+				Reason: "concurrent marking requires the safepoint protocol"}
+		}
+		if o.OffloadDisk > 0 {
+			// The offload baseline's fault-in path runs ad-hoc collections
+			// outside the cycle driver's serialization, which a concurrent
+			// cycle cannot tolerate mid-mark.
+			return &OptionError{Option: "MarkMode+OffloadDisk",
+				Reason: "concurrent marking and disk offloading are mutually exclusive"}
+		}
 	}
 	return nil
 }

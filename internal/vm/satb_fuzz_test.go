@@ -1,0 +1,61 @@
+package vm
+
+import (
+	"testing"
+
+	"leakpruning/internal/heap"
+)
+
+// FuzzSATBBuffer drives one satbBuffer through an arbitrary interleaving of
+// the three operations the runtime performs on it — mutator-side log,
+// exit-time flush, and collector-side take — and checks it against a shadow
+// model: the concatenation of everything the buffer ever handed out (spill
+// batches, takes, plus whatever it still holds) must equal the logged
+// sequence exactly, in order, with nothing lost and nothing duplicated.
+// "Logged then lost" is precisely the failure mode that would let the
+// concurrent sweep free a reachable object, so this is the property the
+// whole SATB soundness argument leans on. The capacity invariant rides
+// along: a buffer never reaches satbBufCap entries without spilling.
+func FuzzSATBBuffer(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 2, 3})
+	f.Add([]byte("log-heavy: \x00\x01\x00\x01\x00\x01\x00\x01\x00\x01\x00\x01"))
+	f.Add(make([]byte, 3*satbBufCap)) // zero bytes: logs only, forces auto-spills
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var buf satbBuffer
+		var logged, collected []heap.Ref
+		spill := func(batch []heap.Ref) {
+			if len(batch) == 0 {
+				t.Fatal("spill called with an empty batch")
+			}
+			collected = append(collected, batch...)
+		}
+		for i, b := range ops {
+			switch b % 4 {
+			case 0, 1:
+				// Log a distinct, recognizable reference (IDs must be unique
+				// so a duplicated entry cannot masquerade as a legitimate
+				// re-log of the same value).
+				r := heap.MakeRef(heap.ObjectID(i + 1))
+				logged = append(logged, r)
+				buf.log(r, spill)
+			case 2:
+				buf.flush(spill) // Thread.Exit handoff
+			case 3:
+				collected = append(collected, buf.take()...) // remark drain
+			}
+			if len(buf.entries) >= satbBufCap {
+				t.Fatalf("op %d: buffer holds %d entries, cap %d never auto-spilled", i, len(buf.entries), satbBufCap)
+			}
+		}
+		collected = append(collected, buf.take()...)
+		if len(collected) != len(logged) {
+			t.Fatalf("logged %d entries, recovered %d", len(logged), len(collected))
+		}
+		for i := range logged {
+			if collected[i] != logged[i] {
+				t.Fatalf("entry %d: logged %v, recovered %v", i, logged[i], collected[i])
+			}
+		}
+	})
+}

@@ -40,6 +40,12 @@ type Thread struct {
 	// cache memoizes the last chunk pointer for this thread's object
 	// lookups (heap.GetCached).
 	cache heap.ChunkCache
+	// satbOn arms the SATB deletion barrier in Store while a concurrent mark
+	// is in flight. Written by the collector only while the world is stopped
+	// (plain bool, like the alloc context — the safepoint protocol orders it
+	// against this thread's reads); satb is the thread-private log it feeds.
+	satbOn bool
+	satb   satbBuffer
 	// pool recycles popped Frames and their backing arrays so Scope-heavy
 	// iteration loops stop allocating (bounded by maxFramePool).
 	pool []*Frame
@@ -95,6 +101,10 @@ func (v *VM) NewThread(name string) *Thread {
 		ring:      v.obsTracer.NewRing(name),
 	}
 	v.threadMu.Lock()
+	// A thread born while a concurrent mark is in flight starts with the
+	// deletion barrier armed; sharing threadMu with armSATB/drainSATB makes
+	// the handoff race-free.
+	t.satbOn = v.satbArmed
 	v.threads[t] = struct{}{}
 	v.threadMu.Unlock()
 	return t
@@ -136,6 +146,10 @@ func (t *Thread) Exit() {
 	// counter fold below: after Exit, nothing references the ring.
 	t.beginOp()
 	t.vm.heap.ReleaseContext(&t.alloc)
+	// Hand any SATB entries this thread still buffers to the VM's overflow
+	// list: after Exit the remark drain will not visit this thread, and a
+	// logged deletion must never be lost (satb.go).
+	t.satb.flush(t.vm.spillSATB)
 	if t.ring != nil {
 		t.vm.obsTracer.CloseRing(t.ring)
 		t.ring = nil
@@ -424,7 +438,16 @@ func (t *Thread) Store(a heap.Ref, slot int, val heap.Ref) {
 	if uint(slot) >= uint(src.NumRefs()) {
 		t.trapBadSlot(src.Class(), src.NumRefs(), slot)
 	}
-	src.SetRef(slot, val.Untagged())
+	if t.satbOn {
+		// SATB deletion barrier: the concurrent marker must be able to reach
+		// everything that was reachable at the snapshot, so the reference
+		// this store evicts is logged before the slot forgets it. SwapRef
+		// makes the logged value exactly the evicted one — a separate
+		// load-then-store pair could lose a racing thread's store unlogged.
+		t.satbLog(src.SwapRef(slot, val.Untagged()))
+	} else {
+		src.SetRef(slot, val.Untagged())
+	}
 	// Generational write barrier: an old object now holding a young
 	// reference must be in the remembered set for the next minor
 	// collection.

@@ -22,6 +22,13 @@ type Event struct {
 	Result gc.Result
 	Heap   heap.Stats
 	State  core.State
+	// Pauses lists the cycle's stop-the-world pauses in order. STW mark mode
+	// has one entry (the whole cycle runs inside it); concurrent mark mode
+	// has three (root snapshot, final remark, closing bookkeeping). The last
+	// pause is still open when OnGC runs, so its entry excludes only the
+	// world-restart tail; time-to-stop latency is tracked separately
+	// (lp_safepoint_stop_ns).
+	Pauses []time.Duration
 }
 
 // Stats aggregates VM-level counters.
@@ -80,6 +87,27 @@ type VM struct {
 	// collections: the safepoint protocol by default, or the legacy shared
 	// RWMutex under Options.WorldLock == WorldRWMutex (see world.go).
 	world world
+
+	// cycleMu serializes full collection cycles. In STW mark mode the pause
+	// itself already excludes overlap, so the lock is uncontended paperwork;
+	// in concurrent mark mode a cycle spans three pauses with the world
+	// running in between, and cycleMu is what keeps a second trigger (or a
+	// minor collection) from starting a cycle inside that window. Always
+	// acquired BEFORE stopping the world, never while it is stopped.
+	cycleMu sync.Mutex
+	// gcActive is true while a concurrent cycle is between its first and
+	// last pauses — the allocation-trigger fast-out, so mutators do not
+	// queue on cycleMu for a cycle that is already running.
+	gcActive atomic.Bool
+
+	// SATB deletion-barrier state (satb.go). satbArmed shares threadMu with
+	// thread registration; satbMu guards the overflow list that full
+	// per-thread buffers and exiting threads spill into; satbDropped flags a
+	// detected (injected) barrier loss, forcing the remark to degrade.
+	satbArmed    bool
+	satbMu       sync.Mutex
+	satbOverflow []heap.Ref
+	satbDropped  atomic.Bool
 
 	// threadMu guards the live-thread set and the retired counter totals
 	// that Exit folds in when a thread unregisters.
@@ -166,6 +194,7 @@ type VM struct {
 	obsPoisonTraps *obs.Counter
 	obsBarrierCold *obs.Counter
 	obsStopNs      *obs.Histogram
+	obsPauseNs     *obs.Histogram
 }
 
 // New constructs a VM. Invalid option combinations panic: configuration is
@@ -198,6 +227,8 @@ func New(opts Options) *VM {
 		v.obsBarrierCold = reg.NewCounter("lp_barrier_cold_hits_total", "read-barrier cold-path executions")
 		v.obsStopNs = reg.NewHistogram("lp_safepoint_stop_ns", "stop-the-world time-to-stop latency",
 			obs.DurationBucketsNs, obs.L("world", opts.WorldLock.String()))
+		v.obsPauseNs = reg.NewHistogram("lp_gc_pause_ns", "stop-the-world pause duration per GC pause",
+			obs.DurationBucketsNs, obs.L("mark", opts.MarkMode.String()))
 		v.collector.SetObs(opts.Obs)
 		v.heap.SetObs(opts.Obs)
 		v.inj.SetObs(opts.Obs)
@@ -374,10 +405,19 @@ func (v *VM) SetFinalizer(r heap.Ref, fn func(FinalizerInfo)) {
 	}
 }
 
-// Collect forces one full-heap collection (stop-the-world). Must not be
-// called from inside a mutator critical region (i.e. not from a finalizer
-// or GC callback); calling it between operations on a live Thread is fine.
+// Collect forces one full-heap collection. Must not be called from inside a
+// mutator critical region (i.e. not from a finalizer or GC callback);
+// calling it between operations on a live Thread is fine. In STW mark mode
+// the whole cycle runs inside one stop-the-world pause; under
+// Options.MarkMode == MarkConcurrent a ModeNormal cycle marks and sweeps
+// concurrently with mutators (concurrent.go), and Collect returns when the
+// cycle has fully finished.
 func (v *VM) Collect() gc.Result {
+	v.cycleMu.Lock()
+	defer v.cycleMu.Unlock()
+	if v.opts.MarkMode == MarkConcurrent {
+		return v.collectConcurrent()
+	}
 	v.stopTheWorld()
 	defer v.startTheWorld()
 	return v.collectLocked()
@@ -423,7 +463,22 @@ func softTrigger(live, limit uint64) uint64 {
 }
 
 // maybeCollect runs a collection if used bytes crossed the soft trigger.
+// When a cycle is already in flight (a concurrent mark on another thread,
+// or another thread won the race to start one) the trigger is simply
+// dropped: that cycle's sweep is about to recompute the trigger anyway, and
+// a thread that genuinely cannot allocate takes the blocking slow path
+// (allocSlow) instead.
 func (v *VM) maybeCollect() {
+	if v.gcActive.Load() || !v.cycleMu.TryLock() {
+		return
+	}
+	defer v.cycleMu.Unlock()
+	if v.opts.MarkMode == MarkConcurrent {
+		if v.heap.BytesUsed() > v.gcTrigger.Load() {
+			v.collectConcurrent()
+		}
+		return
+	}
 	v.stopTheWorld()
 	defer v.startTheWorld()
 	if v.heap.BytesUsed() > v.gcTrigger.Load() {
@@ -466,8 +521,15 @@ func (v *VM) nurseryFull() bool {
 	return v.heap.AllocatedBytes()-v.allocAtLastGC.Load() > v.opts.NurserySize
 }
 
-// maybeMinorCollect runs a nursery collection if the nursery is full.
+// maybeMinorCollect runs a nursery collection if the nursery is full. It
+// stands down while a full cycle is in flight: a minor collection frees
+// unmarked nursery objects, which is unsound mid-concurrent-mark, and
+// pointless right after the full sweep that cycle is about to run.
 func (v *VM) maybeMinorCollect() {
+	if v.gcActive.Load() || !v.cycleMu.TryLock() {
+		return
+	}
+	defer v.cycleMu.Unlock()
 	v.stopTheWorld()
 	defer v.startTheWorld()
 	if !v.nurseryFull() {
@@ -495,8 +557,20 @@ func (v *VM) flushTLABs() {
 	v.threadMu.Unlock()
 }
 
-// collectLocked runs one collection cycle. Caller has stopped the world.
+// collectLocked runs one fully-STW collection cycle. Caller has stopped the
+// world (and, on every path except the offload baseline's fault-in, holds
+// cycleMu — fault-in cannot take it because it already holds the pause, and
+// the offload baseline excludes concurrent marking by construction).
 func (v *VM) collectLocked() gc.Result {
+	pauseStart := time.Now()
+	plan := v.preparePlan()
+	res := v.collector.Collect(plan)
+	return v.finishCollect(res, nil, pauseStart)
+}
+
+// preparePlan readies the heap and controller for a collection cycle and
+// returns the cycle plan. Caller has stopped the world.
+func (v *VM) preparePlan() gc.Plan {
 	v.flushTLABs()
 	// The world is stopped: no thread is inside a critical region, so every
 	// per-thread trace ring is safe to drain into the sink (nil-safe no-op
@@ -526,7 +600,15 @@ func (v *VM) collectLocked() gc.Result {
 			}
 		}
 	}
-	res := v.collector.Collect(plan)
+	return plan
+}
+
+// finishCollect runs the post-collection bookkeeping inside the cycle's
+// final stop-the-world pause: offload, logging, triggers, the controller
+// transition, the optional audit, and the OnGC event. priorPauses carries
+// the earlier pauses of a concurrent cycle (nil for STW cycles); the
+// current pause, measured from pauseStart, is appended as the last entry.
+func (v *VM) finishCollect(res gc.Result, priorPauses []time.Duration, pauseStart time.Time) gc.Result {
 	var offloaded uint64
 	if v.offloader != nil {
 		offloaded = v.offloader.AfterGC(v.heap)
@@ -542,7 +624,9 @@ func (v *VM) collectLocked() gc.Result {
 	if v.opts.AuditEveryGC {
 		// Audit inside the stop-the-world section, right after the cycle:
 		// TLABs are already flushed and no allocation has intervened, so the
-		// mark-word check is exact.
+		// mark-word check is exact. (In concurrent mark mode objects
+		// allocated mid-cycle were born black on the cycle's epoch, so the
+		// check holds there too.)
 		v.verifyLocked(true)
 	}
 	if v.opts.EnableBarriers && !v.barriersActive.Load() && v.ctrl.Observing() {
@@ -550,8 +634,12 @@ func (v *VM) collectLocked() gc.Result {
 		// barrier test. OBSERVE is permanent, so this never reverts.
 		v.barriersActive.Store(true)
 	}
+	pauses := append(priorPauses, time.Since(pauseStart))
+	for _, p := range pauses {
+		v.obsPauseNs.Observe(uint64(p.Nanoseconds()))
+	}
 	if v.opts.OnGC != nil {
-		v.opts.OnGC(Event{Result: res, Heap: hs, State: v.ctrl.State()})
+		v.opts.OnGC(Event{Result: res, Heap: hs, State: v.ctrl.State(), Pauses: pauses})
 	}
 	return res
 }
@@ -649,6 +737,13 @@ const absoluteGCBound = 64
 // retry; when no further collection can help, record and throw the
 // out-of-memory error (§2, §3.1).
 func (v *VM) allocSlow(t *Thread, class heap.ClassID, opts []heap.AllocOption, size uint64) heap.Ref {
+	// The slow path runs fully STW in both mark modes: exhaustion-time
+	// collections must advance the pruning state machine deterministically
+	// (§3.1), and a mutator that cannot allocate has nothing to overlap the
+	// mark with anyway. Taking cycleMu first means waiting out any in-flight
+	// concurrent cycle — whose sweep may well free the needed memory.
+	v.cycleMu.Lock()
+	defer v.cycleMu.Unlock()
 	v.stopTheWorld()
 	defer v.startTheWorld()
 
