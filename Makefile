@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet cover fuzz-smoke bench-smoke bench-phases bench-mutator bench-pause chaos chaos-smoke
+.PHONY: all build test race vet cover fuzz-smoke bench-smoke bench-phases bench-mutator bench-pause bench-jit chaos chaos-smoke
 
 all: build test vet
 
@@ -11,11 +11,11 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent collector, allocator, runtime
-# facade, fault-injection, and observability packages.
+# facade, fault-injection, observability, and JIT-simulation packages.
 race:
 	$(GO) test -race ./internal/gc/... ./internal/heap/... ./internal/vm/... \
 		./internal/edgetable/... ./internal/offload/... ./internal/faultinject/... \
-		./internal/obs/...
+		./internal/obs/... ./internal/jitsim/...
 
 vet:
 	$(GO) vet ./...
@@ -25,14 +25,16 @@ cover:
 	$(GO) test -cover ./...
 
 # Short native-fuzzing pass over the fuzz targets: the edge table's
-# shadow-model fuzz, the tagged-reference round trip, and the SATB
-# deletion-barrier buffer against its shadow model. The checked-in corpora
-# under testdata/fuzz run in every plain `go test`; this adds ten seconds of
+# shadow-model fuzz, the tagged-reference round trip, the SATB
+# deletion-barrier buffer against its shadow model, and the tier-1 barrier
+# elision against the always-barrier oracle. The checked-in corpora under
+# testdata/fuzz run in every plain `go test`; this adds ten seconds of
 # fresh input generation per target.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzEdgeTable$$' -fuzztime=10s ./internal/edgetable
 	$(GO) test -run='^$$' -fuzz='^FuzzPoisonRoundTrip$$' -fuzztime=10s ./internal/vm
 	$(GO) test -run='^$$' -fuzz='^FuzzSATBBuffer$$' -fuzztime=10s ./internal/vm
+	$(GO) test -run='^$$' -fuzz='^FuzzElision$$' -fuzztime=10s ./internal/jitsim
 
 # One iteration of each phase and mutator benchmark — a fast
 # compile-and-run sanity check that the mark/sweep/alloc scaling benches,
@@ -41,6 +43,7 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench='Benchmark(Mark|Sweep|Alloc)Parallel' -benchtime=1x .
 	$(GO) test -run='^$$' -bench='BenchmarkMutatorOps' -benchtime=1x ./internal/vm
 	$(GO) run ./cmd/pausebench -o /dev/null -iters 3000 -repeat 1
+	$(GO) run ./cmd/overheadbench -elision -methods 4 -ops 120 -reps 2 -o /dev/null
 
 # Refresh the per-phase baseline JSON.
 bench-phases:
@@ -55,6 +58,11 @@ bench-mutator:
 # list-leak workload, STW vs mostly-concurrent marking).
 bench-pause:
 	$(GO) run ./cmd/pausebench -o BENCH_pause.json
+
+# Refresh the tier-1 barrier-elision JSON (static elision ratios, tier-1
+# compile surcharge, dynamic test reduction, modelled mutator recovery).
+bench-jit:
+	$(GO) run ./cmd/overheadbench -elision -o BENCH_jit_elision.json
 
 # Full fault-injection campaign: 20 seeds x fault matrix x micro-leak
 # workloads, invariant audit after every collection.

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"leakpruning/internal/jitsim"
 	"leakpruning/internal/obs"
 	"leakpruning/internal/vm"
 )
@@ -56,6 +57,21 @@ type resultRow struct {
 	NsPerOp  float64 `json:"ns_per_op"`
 }
 
+// jitElisionModel projects the measured load costs through the tier-1
+// barrier-elision ratio jitsim's tiered replay achieves: a load whose
+// barrier was elided pays the barriers-off cost, the rest pay the full
+// barriers-on cost, so the modelled steady-state load is
+// off + (1-ratio)*(on-off). The ratio is recomputed here, not pasted, so
+// the report tracks the analysis as it evolves.
+type jitElisionModel struct {
+	DynElisionRatio    float64 `json:"dyn_elision_ratio"`
+	LoadBarriersOffNs  float64 `json:"load_barriers_off_ns"`
+	LoadBarriersOnNs   float64 `json:"load_barriers_on_ns"`
+	ModelledLoadNs     float64 `json:"modelled_load_ns_after_elision"`
+	ModelledSpeedupPct float64 `json:"modelled_mutator_speedup_pct"`
+	ReferenceRow       string  `json:"reference_row"`
+}
+
 type report struct {
 	OpsPerThread int    `json:"ops_per_thread"`
 	GoMaxProcs   int    `json:"gomaxprocs"`
@@ -65,6 +81,8 @@ type report struct {
 	// Baseline holds the pre-safepoint measurements (see preSafepointBaseline).
 	Baseline []baselineRow `json:"baseline_pre_safepoint"`
 	Results  []resultRow   `json:"results"`
+	// JitElision projects the measured load rows through tier-1 elision.
+	JitElision *jitElisionModel `json:"jit_elision"`
 }
 
 // measure runs `ops` operations of kind op on each of `threads` mutator
@@ -129,6 +147,40 @@ func measure(mode vm.WorldLockMode, barriers, obsOn bool, op string, threads, op
 	return float64(time.Since(start).Nanoseconds()) / float64(ops*threads)
 }
 
+// elisionModel computes the jit-elision projection from the measured rows.
+// The reference rows are the cleanest pair: single-threaded loads under the
+// safepoint protocol with observability off.
+func elisionModel(rows []resultRow) *jitElisionModel {
+	var off, on float64
+	for _, r := range rows {
+		if r.Op == "load" && r.World == "safepoint" && !r.Obs && r.Threads == 1 {
+			if r.Barriers {
+				on = r.NsPerOp
+			} else {
+				off = r.NsPerOp
+			}
+		}
+	}
+	if off == 0 || on == 0 || on <= off {
+		return nil // barrier surcharge not resolvable from this run's noise
+	}
+	corpus := jitsim.Corpus("mutbench", 40, 300)
+	rr := jitsim.Replay(&jitsim.Compiler{InsertReadBarriers: true, HotThreshold: 2}, corpus, 2)
+	if rr.DynTestsTier0 == 0 {
+		return nil
+	}
+	ratio := 1 - float64(rr.DynTestsTier1)/float64(rr.DynTestsTier0)
+	modelled := off + (1-ratio)*(on-off)
+	return &jitElisionModel{
+		DynElisionRatio:    ratio,
+		LoadBarriersOffNs:  off,
+		LoadBarriersOnNs:   on,
+		ModelledLoadNs:     modelled,
+		ModelledSpeedupPct: (1 - modelled/on) * 100,
+		ReferenceRow:       "op=load world=safepoint obs=false threads=1",
+	}
+}
+
 func main() {
 	out := flag.String("o", "BENCH_mutator_ops.json", "output path ('-' for stdout)")
 	ops := flag.Int("ops", 1<<21, "operations per thread per measurement")
@@ -149,6 +201,11 @@ func main() {
 			"compare them against world=safepoint rows at the same op/barriers/threads",
 		Baseline: preSafepointBaseline,
 	}
+	// Discarded warmup: the very first measurement of the process otherwise
+	// pays one-time costs (page faults, runtime arena growth) that land
+	// entirely on the matrix's first row and can invert the barrier split.
+	measure(vm.WorldSafepoint, false, false, "load", 1, *ops)
+
 	for _, op := range []string{"load", "store", "new"} {
 		for _, barriers := range []bool{false, true} {
 			for _, mode := range []vm.WorldLockMode{vm.WorldSafepoint, vm.WorldRWMutex} {
@@ -172,6 +229,8 @@ func main() {
 			}
 		}
 	}
+
+	rep.JitElision = elisionModel(rep.Results)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,330 @@
+package jitsim
+
+// Barrier elision analysis (tier 1). A forward must-dataflow computes, at
+// every program point, the set of registers whose current value is
+// barrier-checked: it was either tested by a barrier on every path since
+// the last safepoint, or produced by OpAlloc (black allocation) after the
+// last safepoint, and the register has not been redefined since. A load
+// whose base register is checked on all incoming paths needs no barrier —
+// its test/call pair is elided. Loop-invariant checks are additionally
+// hoisted: when every trip through a loop body dereferences base register
+// r and the body itself contains no safepoint, the per-site checks are
+// replaced by a single check pair in the loop header — executed on loop
+// entry and re-established right after each backedge safepoint, so it
+// covers every iteration including sites on different branch arms.
+//
+// Soundness obligation (the static twin of vm.barrierColdPath's dynamic
+// one): no load of a possibly-stale reference escapes unchecked. A
+// reference can go stale only across a safepoint (OpCall, OpAlloc, taken
+// backward OpBranch edges), so "tested since the last safepoint, not
+// redefined" implies the tested value is the dereferenced value and it
+// cannot have gone stale in between.
+
+// regMask is a must-checked register set (16 registers).
+type regMask uint16
+
+const allRegs regMask = 0xffff
+
+func bit(r int32) regMask { return 1 << (uint(r) & 15) }
+
+// transfer applies one op to the checked set.
+func transfer(s regMask, op Op) regMask {
+	switch op.Kind {
+	case OpConst, OpArith:
+		s &^= bit(op.A)
+	case OpCall:
+		s = 0
+	case OpAlloc:
+		// Safepoint kills everything; the fresh reference is
+		// black-allocated, hence checked by construction.
+		s = bit(op.A)
+	case OpLoadField:
+		// The (emitted or elided) check covers C at this point either way;
+		// the load then overwrites A with an unchecked loaded reference.
+		s |= bit(op.C)
+		s &^= bit(op.A)
+	case opBarrierTest:
+		s |= bit(op.C)
+	}
+	return s
+}
+
+// checkedFixpoint runs the must-analysis to a fixpoint and returns each
+// block's entry state. hoisted maps header block index -> registers whose
+// hoisted check pair executes at the top of that block; the fixpoint
+// models them as facts ORed into the block's entry state (the pairs are
+// materialized only at rewrite time, so op indices stay stable).
+func (g *cfg) checkedFixpoint(hoisted map[int]regMask) []regMask {
+	nb := len(g.blocks)
+	in := make([]regMask, nb)
+	out := make([]regMask, nb)
+	for i := range in {
+		in[i] = allRegs // optimistic top for the must-meet
+		out[i] = allRegs
+	}
+
+	type predEdge struct {
+		from int
+		kind edgeKind
+	}
+	preds := make([][]predEdge, nb)
+	for i, b := range g.blocks {
+		for _, e := range b.succs {
+			if e.to < nb {
+				preds[e.to] = append(preds[e.to], predEdge{from: i, kind: e.kind})
+			}
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for i, b := range g.blocks {
+			meet := allRegs
+			if i == 0 {
+				meet = 0 // method entry: nothing checked
+			}
+			for _, p := range preds[i] {
+				if p.kind == edgeBackedge {
+					meet = 0 // the backedge is a safepoint: facts die on it
+				} else {
+					meet &= out[p.from]
+				}
+			}
+			s := meet | hoisted[i]
+			if s != in[i] {
+				in[i] = s
+				changed = true
+			}
+			o := s
+			for _, op := range b.ops {
+				o = transfer(o, op)
+			}
+			if o != out[i] {
+				out[i] = o
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+// siteKey identifies a load site by (block index, op index within block).
+type siteKey struct{ block, op int }
+
+// elidableSites returns the load sites the dataflow proves checked on all
+// paths, given per-block entry states.
+func (g *cfg) elidableSites(in []regMask) map[siteKey]bool {
+	m := make(map[siteKey]bool)
+	for bi, b := range g.blocks {
+		s := in[bi]
+		for oi, op := range b.ops {
+			if op.Kind == OpLoadField && s&bit(op.C) != 0 {
+				m[siteKey{bi, oi}] = true
+			}
+			s = transfer(s, op)
+		}
+	}
+	return m
+}
+
+// loopInfo is one hoisting-eligible natural loop: a backedge from block
+// `latch` to block `header`, body = blocks[header..latch].
+type loopInfo struct {
+	header, latch int
+	candidates    regMask // registers whose checks may be hoisted
+}
+
+// findHoistableLoops locates backedges whose body admits hoisting:
+//   - no OpCall/OpAlloc in the body (safepoints that would kill the
+//     hoisted fact mid-iteration);
+//   - no other backedge inside the body (a nested loop's safepoint edge);
+//   - no branch from outside the body targets a body block other than the
+//     header (every body execution must have passed the header check since
+//     the last safepoint);
+//
+// and per register r: no body op defines r, and every path from the header
+// to any edge leaving the body (backedge or loop exit) performs at least
+// one load with base r — that keeps the hoisted check's dynamic count at
+// or below the per-site oracle's.
+func (g *cfg) findHoistableLoops() []loopInfo {
+	nb := len(g.blocks)
+	var loops []loopInfo
+	for latch, b := range g.blocks {
+		if b.branchTarget < 0 || !b.branchBack {
+			continue
+		}
+		h := b.branchTarget
+		if h > latch || h >= nb {
+			continue
+		}
+		legal := true
+		var defs regMask
+		loadBlocks := make([]regMask, latch-h+1) // load bases per body block
+		for bi := h; bi <= latch && legal; bi++ {
+			bb := g.blocks[bi]
+			for _, op := range bb.ops {
+				if isSafepointOp(op.Kind) {
+					legal = false
+					break
+				}
+				if op.Kind == OpLoadField {
+					loadBlocks[bi-h] |= bit(op.C)
+				}
+				if d := defReg(op); d >= 0 {
+					defs |= bit(int32(d))
+				}
+			}
+			if bi != latch && bb.branchTarget >= 0 && bb.branchBack {
+				legal = false // nested backedge inside the body
+			}
+		}
+		for oi, ob := range g.blocks {
+			if oi >= h && oi <= latch {
+				continue
+			}
+			if ob.branchTarget > h && ob.branchTarget <= latch {
+				legal = false // side entry into the body skips the header
+			}
+		}
+		if !legal {
+			continue
+		}
+		cands := g.allPathsLoaded(h, latch, loadBlocks) &^ defs
+		if cands != 0 {
+			loops = append(loops, loopInfo{header: h, latch: latch, candidates: cands})
+		}
+	}
+	return loops
+}
+
+// allPathsLoaded computes, by a forward must-analysis restricted to the
+// loop body, the registers used as a load base on every path from the
+// header to every edge that leaves the body (backedge included).
+func (g *cfg) allPathsLoaded(h, latch int, loadBlocks []regMask) regMask {
+	n := latch - h + 1
+	in := make([]regMask, n)
+	out := make([]regMask, n)
+	for i := range in {
+		in[i] = allRegs
+		out[i] = allRegs
+	}
+	in[0] = 0 // header entry: nothing loaded yet this trip
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			s := in[i]
+			if i > 0 {
+				meet := allRegs
+				any := false
+				for pi := h; pi <= latch; pi++ {
+					for _, e := range g.blocks[pi].succs {
+						if e.to == h+i && e.kind != edgeBackedge {
+							meet &= out[pi-h]
+							any = true
+						}
+					}
+				}
+				if any {
+					s = meet
+				}
+			}
+			if s != in[i] {
+				in[i] = s
+				changed = true
+			}
+			o := s | loadBlocks[i]
+			if o != out[i] {
+				out[i] = o
+				changed = true
+			}
+		}
+	}
+	res := allRegs
+	for bi := h; bi <= latch; bi++ {
+		for _, e := range g.blocks[bi].succs {
+			if e.to < h || e.to > latch || e.kind == edgeBackedge {
+				res &= out[bi-h]
+			}
+		}
+	}
+	return res
+}
+
+// elisionResult summarizes what the tier-1 pass did to a method.
+type elisionResult struct {
+	Sites   int // loads in the source method (the oracle's barrier sites)
+	Emitted int // test/call pairs actually emitted (incl. hoisted headers)
+	Elided  int // load sites whose pair was dropped by the plain dataflow
+	Hoisted int // load sites covered by a hoisted header check instead
+}
+
+// expandBarriersAnalyzed is the tier-1 expansion: it decides per load site
+// whether the barrier pair is needed, materializes hoisted header checks,
+// and rewrites each block's ops.
+func (g *cfg) expandBarriersAnalyzed() elisionResult {
+	var res elisionResult
+
+	// Pass 1: plain dataflow, to find which sites hoisting would newly cover.
+	plain := g.elidableSites(g.checkedFixpoint(nil))
+
+	// Choose hoists: one check pair per (loop header, register) that covers
+	// at least one site the dataflow alone cannot elide.
+	hoisted := make(map[int]regMask)
+	for _, l := range g.findHoistableLoops() {
+		for r := int32(0); r < 16; r++ {
+			if l.candidates&bit(r) == 0 || hoisted[l.header]&bit(r) != 0 {
+				continue
+			}
+			covers := 0
+			for bi := l.header; bi <= l.latch; bi++ {
+				for oi, op := range g.blocks[bi].ops {
+					if op.Kind == OpLoadField && bit(op.C) == bit(r) && !plain[siteKey{bi, oi}] {
+						covers++
+					}
+				}
+			}
+			if covers == 0 {
+				continue
+			}
+			hoisted[l.header] |= bit(r)
+		}
+	}
+
+	// Pass 2: final facts with the hoisted checks modelled, then rewrite.
+	in := g.checkedFixpoint(hoisted)
+	for bi, b := range g.blocks {
+		s := in[bi]
+		out := make([]Op, 0, len(b.ops)+len(b.ops)/4)
+		for r := int32(0); r < 16; r++ {
+			if hoisted[bi]&bit(r) != 0 {
+				out = append(out,
+					Op{Kind: opBarrierTest, C: r},
+					Op{Kind: opBarrierCall, C: r})
+				res.Emitted++
+			}
+		}
+		for oi, op := range b.ops {
+			if op.Kind == OpLoadField {
+				res.Sites++
+				if s&bit(op.C) != 0 {
+					if plain[siteKey{bi, oi}] {
+						res.Elided++
+					} else {
+						// Only reachable because a hoisted header check (or
+						// a fact it lets flow past a loop) covers the site.
+						res.Hoisted++
+					}
+				} else {
+					out = append(out,
+						Op{Kind: opBarrierTest, A: op.A, B: op.B, C: op.C},
+						Op{Kind: opBarrierCall, A: op.A, B: op.B, C: op.C})
+					res.Emitted++
+				}
+			}
+			s = transfer(s, op)
+			out = append(out, op)
+		}
+		b.ops = out
+	}
+	return res
+}

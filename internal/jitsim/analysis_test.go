@@ -1,0 +1,240 @@
+package jitsim
+
+import (
+	"testing"
+
+	"leakpruning/internal/obs"
+)
+
+// compileBoth compiles one method at tier 0 (the always-barrier oracle) and
+// tier 1 (elision) with barriers on.
+func compileBoth(t *testing.T, m *Method) (cm0, cm1 *CompiledMethod, st0, st1 CompileStats) {
+	t.Helper()
+	c := &Compiler{InsertReadBarriers: true}
+	cm0, st0 = c.CompileTier(m, Tier0)
+	cm1, st1 = c.CompileTier(m, Tier1)
+	return
+}
+
+// assertTierEquivalence runs both tiers traced and enforces the full
+// soundness contract: byte-identical machine results, every dereference
+// covered by an in-interval check, identical per-safepoint dereference
+// snapshots, and tier-1 dynamic barrier work at or below the oracle's.
+func assertTierEquivalence(t *testing.T, name string, cm0, cm1 *CompiledMethod, reps int) (Result, Result) {
+	t.Helper()
+	r0, tr0 := cm0.RunTraced(reps)
+	r1, tr1 := cm1.RunTraced(reps)
+	if r0.Regs != r1.Regs {
+		t.Fatalf("%s: tier-1 changed machine results:\n tier0 %v\n tier1 %v", name, r0.Regs, r1.Regs)
+	}
+	if tr0.Uncovered != 0 {
+		t.Fatalf("%s: oracle left %d dereferences unchecked", name, tr0.Uncovered)
+	}
+	if tr1.Uncovered != 0 {
+		t.Fatalf("%s: tier 1 let %d loads of possibly-stale references escape unchecked", name, tr1.Uncovered)
+	}
+	if len(tr0.Snapshots) != len(tr1.Snapshots) {
+		t.Fatalf("%s: safepoint interval counts differ: %d vs %d", name, len(tr0.Snapshots), len(tr1.Snapshots))
+	}
+	for i := range tr0.Snapshots {
+		if tr0.Snapshots[i] != tr1.Snapshots[i] {
+			t.Fatalf("%s: checked-reference set diverged at safepoint %d:\n tier0 %q\n tier1 %q",
+				name, i, tr0.Snapshots[i], tr1.Snapshots[i])
+		}
+	}
+	if r1.BarrierHits > r0.BarrierHits {
+		t.Fatalf("%s: tier-1 barrier hits %d exceed oracle's %d", name, r1.BarrierHits, r0.BarrierHits)
+	}
+	if r1.BarrierTests > r0.BarrierTests {
+		t.Fatalf("%s: tier-1 executed %d barrier tests, oracle only %d", name, r1.BarrierTests, r0.BarrierTests)
+	}
+	return r0, r1
+}
+
+func shapeByName(t *testing.T, name string) *Method {
+	t.Helper()
+	for _, m := range ShapeCorpus() {
+		if m.Name == name {
+			return m
+		}
+	}
+	t.Fatalf("no shape %q", name)
+	return nil
+}
+
+func TestShapeDiamond(t *testing.T) {
+	m := shapeByName(t, "shape.diamond")
+	cm0, cm1, st0, st1 := compileBoth(t, m)
+	if st0.BarrierSites != 3 {
+		t.Fatalf("oracle sites = %d, want 3", st0.BarrierSites)
+	}
+	// Both arms check r0, so the join's load needs no barrier.
+	if st1.BarriersElided != 1 || st1.BarriersHoisted != 0 {
+		t.Fatalf("diamond: elided=%d hoisted=%d, want 1/0", st1.BarriersElided, st1.BarriersHoisted)
+	}
+	if st1.BarrierSites != 2 {
+		t.Fatalf("diamond: emitted pairs = %d, want 2 (one per arm)", st1.BarrierSites)
+	}
+	assertTierEquivalence(t, m.Name, cm0, cm1, 3)
+}
+
+func TestShapeOneArmed(t *testing.T) {
+	m := shapeByName(t, "shape.onearmed")
+	cm0, cm1, st0, st1 := compileBoth(t, m)
+	if st0.BarrierSites != 2 {
+		t.Fatalf("oracle sites = %d, want 2", st0.BarrierSites)
+	}
+	// Only one arm checks r0: the join's must-meet drops the fact.
+	if st1.BarriersElided != 0 || st1.BarriersHoisted != 0 {
+		t.Fatalf("one-armed: elided=%d hoisted=%d, want 0/0", st1.BarriersElided, st1.BarriersHoisted)
+	}
+	if st1.BarrierSites != 2 {
+		t.Fatalf("one-armed: emitted pairs = %d, want 2", st1.BarrierSites)
+	}
+	assertTierEquivalence(t, m.Name, cm0, cm1, 3)
+}
+
+func TestShapeLoopInvariant(t *testing.T) {
+	m := shapeByName(t, "shape.loopinv")
+	cm0, cm1, st0, st1 := compileBoth(t, m)
+	if st0.BarrierSites != 3 {
+		t.Fatalf("oracle sites = %d, want 3", st0.BarrierSites)
+	}
+	// One hoisted header pair covers the whole loop; the second body site
+	// and the post-loop site fall to the plain dataflow.
+	if st1.BarriersHoisted != 1 || st1.BarriersElided != 2 {
+		t.Fatalf("loopinv: elided=%d hoisted=%d, want 2/1", st1.BarriersElided, st1.BarriersHoisted)
+	}
+	if st1.BarrierSites != 1 {
+		t.Fatalf("loopinv: emitted pairs = %d, want just the hoisted header pair", st1.BarrierSites)
+	}
+	r0, r1 := assertTierEquivalence(t, m.Name, cm0, cm1, 1)
+	// The loop runs many iterations: the oracle tests twice per trip, the
+	// hoisted check once — the dynamic saving must be visible.
+	if r1.BarrierTests >= r0.BarrierTests {
+		t.Fatalf("loopinv: hoisting saved no dynamic tests (%d vs %d)", r1.BarrierTests, r0.BarrierTests)
+	}
+	if r0.BarrierTests < 100 {
+		t.Fatalf("loopinv: loop did not actually iterate (only %d oracle tests)", r0.BarrierTests)
+	}
+}
+
+func TestShapeCallHeavy(t *testing.T) {
+	m := shapeByName(t, "shape.callheavy")
+	cm0, cm1, st0, st1 := compileBoth(t, m)
+	if st0.BarrierSites != 3 {
+		t.Fatalf("oracle sites = %d, want 3", st0.BarrierSites)
+	}
+	// The black allocation covers the first load; each call safepoint
+	// kills the fact, so the remaining loads keep their barriers.
+	if st1.BarriersElided != 1 || st1.BarriersHoisted != 0 {
+		t.Fatalf("call-heavy: elided=%d hoisted=%d, want 1/0", st1.BarriersElided, st1.BarriersHoisted)
+	}
+	if st1.BarrierSites != 2 {
+		t.Fatalf("call-heavy: emitted pairs = %d, want 2", st1.BarrierSites)
+	}
+	assertTierEquivalence(t, m.Name, cm0, cm1, 3)
+}
+
+// TestScheduleCostRecorded pins the satellite fix: scheduleCost's result
+// reaches CompileStats, and barrier expansion (more IR) increases it.
+func TestScheduleCostRecorded(t *testing.T) {
+	corpus := Corpus("schedcost", 20, 200)
+	plain := CompileCorpus("schedcost", &Compiler{}, corpus)
+	barrier := CompileCorpus("schedcost", &Compiler{InsertReadBarriers: true}, corpus)
+	if plain.ScheduleCost <= 0 {
+		t.Fatal("ScheduleCost not recorded")
+	}
+	if barrier.ScheduleCost <= plain.ScheduleCost {
+		t.Fatalf("barrier expansion must increase the modelled scheduling cost: %d vs %d",
+			barrier.ScheduleCost, plain.ScheduleCost)
+	}
+}
+
+// TestTierEquivalenceOnCorpus runs the full soundness contract over every
+// generated corpus method and the hand-written shapes.
+func TestTierEquivalenceOnCorpus(t *testing.T) {
+	corpus := append(Corpus("equiv", 40, 200), ShapeCorpus()...)
+	for _, m := range corpus {
+		cm0, cm1, st0, st1 := compileBoth(t, m)
+		if got := st1.BarriersElided + st1.BarriersHoisted; got > st0.BarrierSites {
+			t.Fatalf("%s: elided+hoisted %d exceeds site count %d", m.Name, got, st0.BarrierSites)
+		}
+		if st1.BarrierSites > st0.BarrierSites {
+			t.Fatalf("%s: tier 1 emitted more pairs (%d) than the oracle (%d)",
+				m.Name, st1.BarrierSites, st0.BarrierSites)
+		}
+		assertTierEquivalence(t, m.Name, cm0, cm1, 2)
+	}
+}
+
+// TestCorpusElisionCriterion pins the PR's acceptance bar: on the
+// benchmark corpus, tier 1 elides at least 30% of barrier sites on at
+// least half the methods.
+func TestCorpusElisionCriterion(t *testing.T) {
+	corpus := Corpus("antlr", 100, 300)
+	c := &Compiler{InsertReadBarriers: true}
+	meets := 0
+	for _, m := range corpus {
+		_, st := c.CompileTier(m, Tier1)
+		sites := m.NumLoads()
+		if sites == 0 {
+			continue
+		}
+		if float64(st.BarriersElided+st.BarriersHoisted)/float64(sites) >= 0.30 {
+			meets++
+		}
+	}
+	if meets*2 < len(corpus) {
+		t.Fatalf("only %d/%d methods reach 30%% elision", meets, len(corpus))
+	}
+}
+
+// TestTieredReplay exercises the hot-method recompilation controller.
+func TestTieredReplay(t *testing.T) {
+	o := obs.New()
+	c := &Compiler{InsertReadBarriers: true, HotThreshold: 2, Obs: o}
+	corpus := Corpus("tiered", 30, 200)
+	res := Replay(c, corpus, 3)
+	if res.Tier1Methods == 0 {
+		t.Fatal("no methods were recompiled at tier 1")
+	}
+	if res.BarriersElided+res.BarriersHoisted == 0 {
+		t.Fatal("tier-1 recompilation elided nothing")
+	}
+	if res.ElisionRatio <= 0 || res.ElisionRatio > 1 {
+		t.Fatalf("elision ratio %f out of range", res.ElisionRatio)
+	}
+	if res.RecompileTime <= 0 || res.RecompileTime > res.CompileTime {
+		t.Fatalf("recompile time %v inconsistent with total %v", res.RecompileTime, res.CompileTime)
+	}
+	if res.DynTestsTier1 >= res.DynTestsTier0 {
+		t.Fatalf("tier-1 code must execute fewer barrier tests: %d vs %d",
+			res.DynTestsTier1, res.DynTestsTier0)
+	}
+	if res.ModelledCyclesSaved <= 0 {
+		t.Fatal("no modelled cycles saved")
+	}
+	// Obs wiring: both counters must have fired.
+	reg := o.Registry()
+	if n := reg.NewCounter("lp_jit_recompiles_total", "").Load(); int(n) != res.Tier1Methods {
+		t.Fatalf("lp_jit_recompiles_total = %d, want %d", n, res.Tier1Methods)
+	}
+	if n := reg.NewCounter("lp_jit_elided_total", "").Load(); int(n) != res.BarriersElided+res.BarriersHoisted {
+		t.Fatalf("lp_jit_elided_total = %d, want %d", n, res.BarriersElided+res.BarriersHoisted)
+	}
+}
+
+// TestReplayUntieredUnchanged: without a hot threshold the controller
+// stays out of the way (the legacy replay methodology).
+func TestReplayUntieredUnchanged(t *testing.T) {
+	c := &Compiler{InsertReadBarriers: true}
+	res := Replay(c, Corpus("untiered", 10, 100), 3)
+	if res.Tier1Methods != 0 || res.RecompileTime != 0 || res.ElisionRatio != 0 {
+		t.Fatalf("tiering ran without a threshold: %+v", res)
+	}
+	if res.DynTestsTier1 != res.DynTestsTier0 {
+		t.Fatalf("iterations diverged without recompilation: %d vs %d",
+			res.DynTestsTier1, res.DynTestsTier0)
+	}
+}

@@ -1,0 +1,152 @@
+package jitsim
+
+// Control-flow graph construction. Branch offsets in the source IR are in
+// source-op units; every later phase (barrier expansion, elision, local
+// optimization, emission) changes op counts, so the compiler works on basic
+// blocks with branch targets held as block indices and re-resolves concrete
+// instruction offsets only at layout time.
+
+// edgeKind distinguishes the safepoint-carrying backedge from ordinary
+// edges: a taken backward branch is the VM's loop GC poll, so barrier facts
+// die along it.
+type edgeKind uint8
+
+const (
+	edgeFallthrough edgeKind = iota
+	edgeForward              // taken forward branch: no safepoint
+	edgeBackedge             // taken backward branch: safepoint, kills facts
+)
+
+type edge struct {
+	to   int // successor block index; len(blocks) means method exit
+	kind edgeKind
+}
+
+// block is one basic block: straight-line ops, terminated either by the
+// method end, by the op before a leader, or by an OpBranch (which is the
+// block's last op).
+type block struct {
+	ops   []Op
+	succs []edge
+	// branchTarget is the block index a terminating OpBranch jumps to
+	// (len(blocks) = exit); -1 when the block does not end in a branch.
+	branchTarget int
+	// branchBack records whether that branch is backward (a safepoint edge).
+	branchBack bool
+}
+
+// cfg is the block-structured method body.
+type cfg struct {
+	blocks []*block
+}
+
+// branchTargetIndex resolves the op-level target of a branch at index i:
+// target = i - B, clamped into [0, len]; len means "branch off the end"
+// (treated as method exit).
+func branchTargetIndex(i int, op Op, n int) int {
+	t := i - int(op.B)
+	if t < 0 {
+		t = 0
+	}
+	if t > n {
+		t = n
+	}
+	return t
+}
+
+// buildCFG splits a method's linear ops into basic blocks.
+func buildCFG(ops []Op) *cfg {
+	n := len(ops)
+	leader := make([]bool, n+1)
+	leader[0] = true
+	for i, op := range ops {
+		if op.Kind == OpBranch {
+			leader[branchTargetIndex(i, op, n)] = true
+			if i+1 <= n {
+				leader[i+1] = true
+			}
+		}
+	}
+	// Map op index -> block index.
+	blockOf := make([]int, n+1)
+	nb := 0
+	for i := 0; i <= n; i++ {
+		if i < n && leader[i] {
+			nb++
+		}
+		blockOf[i] = nb - 1
+	}
+	blockOf[n] = nb // exit sentinel
+
+	g := &cfg{blocks: make([]*block, nb)}
+	for i := range g.blocks {
+		g.blocks[i] = &block{branchTarget: -1}
+	}
+	bi := -1
+	for i, op := range ops {
+		if leader[i] {
+			bi++
+		}
+		g.blocks[bi].ops = append(g.blocks[bi].ops, op)
+		if op.Kind == OpBranch {
+			b := g.blocks[bi]
+			ti := branchTargetIndex(i, op, n)
+			b.branchTarget = blockOf[ti]
+			if ti == n {
+				b.branchTarget = nb
+			}
+			b.branchBack = ti <= i
+			kind := edgeForward
+			if b.branchBack {
+				kind = edgeBackedge
+			}
+			b.succs = append(b.succs, edge{to: b.branchTarget, kind: kind})
+			// Fall-through on the not-taken path.
+			b.succs = append(b.succs, edge{to: blockIndexAfter(blockOf, i, n, nb), kind: edgeFallthrough})
+		}
+	}
+	// Non-branch block terminators fall through to the next block.
+	for i, b := range g.blocks {
+		if len(b.succs) == 0 {
+			b.succs = append(b.succs, edge{to: i + 1, kind: edgeFallthrough})
+		}
+	}
+	return g
+}
+
+// blockIndexAfter resolves the block that op index i+1 starts (exit when i
+// is the last op).
+func blockIndexAfter(blockOf []int, i, n, nb int) int {
+	if i+1 >= n {
+		return nb
+	}
+	return blockOf[i+1]
+}
+
+// flatten lays the blocks back out as linear IR, recomputing each
+// terminating branch's op-level offset from the post-transformation block
+// lengths. The returned branch ops carry their resolved absolute target in
+// B as a *negative-relative* encoding identical to the source form:
+// target = i - B.
+func (g *cfg) flatten() []Op {
+	starts := make([]int, len(g.blocks)+1)
+	total := 0
+	for i, b := range g.blocks {
+		starts[i] = total
+		total += len(b.ops)
+	}
+	starts[len(g.blocks)] = total
+
+	out := make([]Op, 0, total)
+	for bi, b := range g.blocks {
+		base := starts[bi]
+		for oi, op := range b.ops {
+			if op.Kind == OpBranch && oi == len(b.ops)-1 && b.branchTarget >= 0 {
+				i := base + oi
+				op.B = int32(i - starts[b.branchTarget])
+			}
+			out = append(out, op)
+		}
+	}
+	return out
+}

@@ -1,13 +1,39 @@
 package jitsim
 
-import "time"
+import (
+	"time"
+
+	"leakpruning/internal/obs"
+)
 
 // instr is one lowered instruction: a small closure over the machine state.
 type instr func(*machine)
 
+// Tier is a compilation tier. Tier 0 is the cheap always-barrier compile;
+// tier 1 pays for the access-graph dataflow and elides or hoists barriers
+// that are provably redundant.
+type Tier int
+
+const (
+	// Tier0 expands every reference load into the full barrier sequence.
+	Tier0 Tier = iota
+	// Tier1 runs the checked-on-all-paths analysis and emits only the
+	// barrier pairs the dataflow cannot prove redundant.
+	Tier1
+)
+
+func (t Tier) String() string {
+	if t == Tier1 {
+		return "tier1"
+	}
+	return "tier0"
+}
+
 // CompiledMethod is the compiler's output.
 type CompiledMethod struct {
 	Name string
+	// Tier records which pipeline produced the code.
+	Tier Tier
 	// IRSize is the post-expansion, post-optimization IR length.
 	IRSize int
 	// CodeBytes is the modelled machine-code size (instruction count times
@@ -17,71 +43,123 @@ type CompiledMethod struct {
 }
 
 // CompileStats reports one compilation's cost, the quantities Figure 6's
-// accompanying text measures.
+// accompanying text measures, plus the tier-1 elision outcome.
 type CompileStats struct {
-	Method       string
-	Duration     time.Duration
-	IRSizeIn     int // ops before expansion
-	IRSizeOut    int // ops after barrier expansion + optimization
-	CodeBytes    int
+	Method    string
+	Tier      Tier
+	Duration  time.Duration
+	IRSizeIn  int // ops before expansion
+	IRSizeOut int // ops after barrier expansion + optimization
+	CodeBytes int
+	// BarrierSites is the number of barrier test/call pairs emitted
+	// (at tier 1 this includes hoisted header pairs).
 	BarrierSites int
+	// BarriersElided counts load sites whose pair the dataflow dropped.
+	BarriersElided int
+	// BarriersHoisted counts load sites covered by a hoisted header check.
+	BarriersHoisted int
+	// ScheduleCost is the modelled cost of the downstream scheduling pass —
+	// the dependence count its quadratic window scan found. Barrier
+	// expansion bloats the IR and therefore this number; elision claws it
+	// back.
+	ScheduleCost int
 }
 
 // Compiler lowers methods. The zero value compiles without barriers.
 type Compiler struct {
-	// InsertReadBarriers expands every OpLoadField into the conditional
+	// InsertReadBarriers expands reference loads into the conditional
 	// barrier sequence: the inline test plus the out-of-line call, as the
 	// paper's compilers do ("the compilers insert only the conditional
 	// test and a method call for the barrier's body", §5).
 	InsertReadBarriers bool
+	// ElideBarriers makes Compile use the tier-1 pipeline directly
+	// (analysis + elision). Only meaningful with InsertReadBarriers.
+	ElideBarriers bool
+	// HotThreshold, when positive, enables the tiered controller in
+	// Replay: methods whose execution count reaches the threshold are
+	// recompiled at tier 1.
+	HotThreshold int
+	// Obs, when non-nil, feeds lp_jit_elided_total and
+	// lp_jit_recompiles_total.
+	Obs *obs.Obs
 }
 
-// Compile lowers one method: barrier expansion, then the optimization
-// passes (whose cost scales with IR size — that is where barrier bloat
-// turns into compile-time overhead), then code emission.
+// Compile lowers one method at the compiler's default tier: tier 1 when
+// ElideBarriers is set, tier 0 otherwise.
 func (c *Compiler) Compile(m *Method) (*CompiledMethod, CompileStats) {
-	start := time.Now()
-	ir := append([]Op(nil), m.Ops...)
-	barrierSites := 0
-	if c.InsertReadBarriers {
-		ir, barrierSites = expandBarriers(ir)
+	tier := Tier0
+	if c.InsertReadBarriers && c.ElideBarriers {
+		tier = Tier1
 	}
-	ir = simplify(ir)
-	ir = eliminateDeadConsts(ir)
-	scheduleCost(ir) // modelled downstream pass over the (possibly bloated) IR
+	return c.CompileTier(m, tier)
+}
 
-	cm := emit(m.Name, ir)
-	stats := CompileStats{
-		Method:       m.Name,
-		Duration:     time.Since(start),
-		IRSizeIn:     len(m.Ops),
-		IRSizeOut:    len(ir),
-		CodeBytes:    cm.CodeBytes,
-		BarrierSites: barrierSites,
+// CompileTier lowers one method at an explicit tier: barrier expansion
+// (full at tier 0, analyzed at tier 1), then the optimization passes
+// (whose cost scales with IR size — that is where barrier bloat turns into
+// compile-time overhead), then code emission.
+func (c *Compiler) CompileTier(m *Method, tier Tier) (*CompiledMethod, CompileStats) {
+	start := time.Now()
+	stats := CompileStats{Method: m.Name, Tier: tier, IRSizeIn: len(m.Ops)}
+
+	g := buildCFG(m.Ops)
+	if c.InsertReadBarriers {
+		if tier >= Tier1 {
+			res := g.expandBarriersAnalyzed()
+			stats.BarrierSites = res.Emitted
+			stats.BarriersElided = res.Elided
+			stats.BarriersHoisted = res.Hoisted
+			if reg := c.Obs.Registry(); reg != nil {
+				reg.NewCounter("lp_jit_elided_total",
+					"barrier sites statically removed by tier-1 elision/hoisting").
+					Add(uint64(res.Elided + res.Hoisted))
+			}
+		} else {
+			stats.BarrierSites = g.expandBarriersAll()
+		}
 	}
+	// Local optimizations run per block: they change op counts, and branch
+	// offsets are re-resolved from block lengths at flatten time.
+	for _, b := range g.blocks {
+		b.ops = eliminateDeadConsts(simplify(b.ops))
+	}
+	flat := g.flatten()
+	// Modelled downstream pass over the (possibly bloated) IR.
+	stats.ScheduleCost = scheduleCost(flat)
+
+	cm := emit(m.Name, flat)
+	cm.Tier = tier
+	stats.Duration = time.Since(start)
+	stats.IRSizeOut = len(flat)
+	stats.CodeBytes = cm.CodeBytes
 	return cm, stats
 }
 
-// expandBarriers rewrites each reference load into test + out-of-line call
-// + the load itself.
-func expandBarriers(ir []Op) ([]Op, int) {
-	out := make([]Op, 0, len(ir)+len(ir)/4)
+// expandBarriersAll is the tier-0 expansion: every reference load gets the
+// test + out-of-line call pair. Returns the site count.
+func (g *cfg) expandBarriersAll() int {
 	sites := 0
-	for _, op := range ir {
-		if op.Kind == OpLoadField {
-			out = append(out,
-				Op{Kind: opBarrierTest, A: op.A, B: op.B},
-				Op{Kind: opBarrierCall, A: op.A, B: op.B},
-			)
-			sites++
+	for _, b := range g.blocks {
+		out := make([]Op, 0, len(b.ops)+len(b.ops)/4)
+		for _, op := range b.ops {
+			if op.Kind == OpLoadField {
+				out = append(out,
+					Op{Kind: opBarrierTest, A: op.A, B: op.B, C: op.C},
+					Op{Kind: opBarrierCall, A: op.A, B: op.B, C: op.C})
+				sites++
+			}
+			out = append(out, op)
 		}
-		out = append(out, op)
+		b.ops = out
 	}
-	return out, sites
+	return sites
 }
 
 // simplify folds adjacent constant/arith pairs — a stand-in for the local
-// optimizations whose work grows with IR length.
+// optimizations whose work grows with IR length. Barrier pseudo-ops are
+// only ever inserted before loads, so the foldable adjacencies are
+// identical at every tier and folding never changes cross-tier
+// equivalence.
 func simplify(ir []Op) []Op {
 	out := ir[:0:len(ir)]
 	for i := 0; i < len(ir); i++ {
@@ -149,13 +227,15 @@ func codeWidth(k OpKind) int {
 	}
 }
 
-// emit lowers the IR to executable closures and models code size.
-func emit(name string, ir []Op) *CompiledMethod {
-	code := make([]instr, 0, len(ir))
+// emit lowers the flattened IR to executable closures and models code
+// size. Branch ops arrive with offsets already re-resolved against the
+// final layout.
+func emit(name string, flat []Op) *CompiledMethod {
+	code := make([]instr, len(flat))
 	bytes := 0
-	for _, op := range ir {
+	for i, op := range flat {
 		bytes += codeWidth(op.Kind)
-		code = append(code, lower(op))
+		code[i] = lower(op, i)
 	}
-	return &CompiledMethod{Name: name, IRSize: len(ir), CodeBytes: bytes, code: code}
+	return &CompiledMethod{Name: name, IRSize: len(flat), CodeBytes: bytes, code: code}
 }

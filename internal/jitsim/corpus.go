@@ -1,41 +1,61 @@
 package jitsim
 
 // Corpus generates a deterministic set of synthetic methods with the op mix
-// of ordinary managed code: roughly one reference load per 12 operations,
-// calibrated so barrier expansion bloats code size by about 10%, matching
-// the paper's measurement.
+// of ordinary managed code. Reference values live in registers r0–r3
+// (defined by allocation), scalars in r4–r15; reference loads arrive in
+// short same-base bursts (a.f; a.g; a.h — the field-access locality real
+// code has, and exactly what the tier-1 dataflow exploits), calibrated so
+// tier-0 barrier expansion bloats code size by about 10%, matching the
+// paper's measurement.
 func Corpus(benchmark string, methods, opsPerMethod int) []*Method {
 	seed := uint64(1)
 	for _, c := range benchmark {
 		seed = seed*131 + uint64(c)
 	}
+	next := func() uint64 {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return seed
+	}
 	out := make([]*Method, 0, methods)
 	for i := 0; i < methods; i++ {
 		m := &Method{Name: benchmarkMethodName(benchmark, i)}
-		for j := 0; j < opsPerMethod; j++ {
-			seed ^= seed << 13
-			seed ^= seed >> 7
-			seed ^= seed << 17
-			r := seed % 100
-			a := int32(seed>>8) & 15
-			b := int32(seed>>16) & 1023
-			var k OpKind
+		for len(m.Ops) < opsPerMethod {
+			s := next()
+			r := s % 100
+			ref := int32(s>>8) & 3        // base-reference register r0–r3
+			scalar := 4 + int32(s>>16)%12 // scalar register r4–r15
+			b := int32(s>>32) & 1023
 			switch {
-			case r < 8:
-				k = OpLoadField
+			case r < 4:
+				// Field-access burst: 1–4 loads off the same base. The
+				// first is the burst's barrier site; the rest are what a
+				// real JIT proves redundant.
+				burst := 1 + int(s>>24)%4
+				for k := 0; k < burst && len(m.Ops) < opsPerMethod; k++ {
+					dst := 4 + (scalar-4+int32(k))%12
+					m.Ops = append(m.Ops, Op{Kind: OpLoadField, A: dst, B: b + int32(k), C: ref})
+				}
+			case r < 10:
+				m.Ops = append(m.Ops, Op{Kind: OpStoreField, A: ref, B: b, C: scalar})
 			case r < 14:
-				k = OpStoreField
-			case r < 20:
-				k = OpAlloc
-				b = b&7 + 1
-			case r < 26:
-				k = OpCall
-			case r < 60:
-				k = OpConst
+				m.Ops = append(m.Ops, Op{Kind: OpAlloc, A: ref, B: b&7 + 1})
+			case r < 18:
+				m.Ops = append(m.Ops, Op{Kind: OpCall, A: scalar, B: b})
+			case r < 22:
+				// Conditional branch on a reference register: backward
+				// (loop backedge, a safepoint) or forward (diamond edge).
+				d := 1 + int32(s>>24)%8
+				if s>>40&1 == 0 {
+					d = -d
+				}
+				m.Ops = append(m.Ops, Op{Kind: OpBranch, A: ref, B: d})
+			case r < 58:
+				m.Ops = append(m.Ops, Op{Kind: OpConst, A: scalar, B: b})
 			default:
-				k = OpArith
+				m.Ops = append(m.Ops, Op{Kind: OpArith, A: scalar, B: b})
 			}
-			m.Ops = append(m.Ops, Op{Kind: k, A: a, B: b})
 		}
 		out = append(out, m)
 	}
@@ -47,15 +67,77 @@ func benchmarkMethodName(bench string, i int) string {
 	return bench + ".m" + string([]byte{hex[(i>>8)&15], hex[(i>>4)&15], hex[i&15]})
 }
 
+// ShapeCorpus returns hand-written methods that each pin one dataflow case
+// of the tier-1 analysis; analysis_test.go asserts the exact outcome per
+// shape.
+func ShapeCorpus() []*Method {
+	return []*Method{
+		// shape.diamond: r0 is barrier-checked on BOTH arms of a forward
+		// diamond, so the must-meet at the join keeps the fact and the
+		// join's load elides. (Dataflow case: intersection over forward
+		// edges preserves facts proven on every path.)
+		{Name: "shape.diamond", Ops: []Op{
+			{Kind: OpConst, A: 7, B: 1},           // r7 = 1: always-taken cond
+			{Kind: OpAlloc, A: 0, B: 4},           // r0 = ref
+			{Kind: OpCall, A: 4, B: 9},            // safepoint: r0's fact dies
+			{Kind: OpBranch, A: 5, B: -3},         // if r5: goto 6 (arm B)
+			{Kind: OpLoadField, A: 6, B: 0, C: 0}, // arm A: checks r0
+			{Kind: OpBranch, A: 7, B: -3},         // always: goto 8 (join)
+			{Kind: OpLoadField, A: 6, B: 1, C: 0}, // arm B: checks r0
+			{Kind: OpArith, A: 6, B: 5},           //
+			{Kind: OpLoadField, A: 8, B: 2, C: 0}, // join: checked on all paths -> elide
+		}},
+		// shape.onearmed: r0 is checked on only one arm, so the join's
+		// must-meet drops the fact and the join load keeps its barrier.
+		// (Dataflow case: a single unchecked path defeats elision.)
+		{Name: "shape.onearmed", Ops: []Op{
+			{Kind: OpAlloc, A: 0, B: 4},           // r0 = ref
+			{Kind: OpCall, A: 4, B: 9},            // safepoint: fact dies
+			{Kind: OpBranch, A: 5, B: -2},         // if r5: goto 4, skipping the check
+			{Kind: OpLoadField, A: 6, B: 0, C: 0}, // one arm checks r0
+			{Kind: OpLoadField, A: 8, B: 1, C: 0}, // join: NOT checked on all paths -> keep
+		}},
+		// shape.loopinv: a safepoint-free loop body loads the invariant r0
+		// twice per trip; tier 1 hoists a single check pair into the loop
+		// header (re-established after each backedge safepoint), elides
+		// both body sites, and the fact flows out of the loop to the
+		// post-loop load. (Dataflow case: loop-invariant hoisting.)
+		{Name: "shape.loopinv", Ops: []Op{
+			{Kind: OpAlloc, A: 0, B: 4},           // r0 = invariant ref
+			{Kind: OpCall, A: 4, B: 9},            // safepoint: enter loop with no facts
+			{Kind: OpConst, A: 5, B: 3},           // r5 = loop condition (runs to fuel)
+			{Kind: OpLoadField, A: 6, B: 0, C: 0}, // header: invariant load
+			{Kind: OpLoadField, A: 7, B: 1, C: 0}, // second body load
+			{Kind: OpBranch, A: 5, B: 2},          // backedge to op 3 (safepoint edge)
+			{Kind: OpLoadField, A: 8, B: 2, C: 0}, // post-loop: fact flowed out -> elide
+		}},
+		// shape.callheavy: every OpCall is a safepoint, so the fact from
+		// the black allocation covers only the first load; each
+		// post-call load pays its barrier again. (Dataflow case:
+		// safepoints kill facts.)
+		{Name: "shape.callheavy", Ops: []Op{
+			{Kind: OpAlloc, A: 0, B: 4},           // r0 = ref, black-allocated
+			{Kind: OpLoadField, A: 5, B: 0, C: 0}, // elided: checked by construction
+			{Kind: OpCall, A: 4, B: 1},            // safepoint
+			{Kind: OpLoadField, A: 6, B: 1, C: 0}, // must re-check
+			{Kind: OpCall, A: 4, B: 2},            // safepoint
+			{Kind: OpLoadField, A: 7, B: 2, C: 0}, // must re-check
+		}},
+	}
+}
+
 // SuiteStats aggregates compilation over a corpus.
 type SuiteStats struct {
-	Benchmark    string
-	Methods      int
-	CompileTime  int64 // nanoseconds, summed
-	IRSizeIn     int
-	IRSizeOut    int
-	CodeBytes    int
-	BarrierSites int
+	Benchmark       string
+	Methods         int
+	CompileTime     int64 // nanoseconds, summed
+	IRSizeIn        int
+	IRSizeOut       int
+	CodeBytes       int
+	BarrierSites    int
+	BarriersElided  int
+	BarriersHoisted int
+	ScheduleCost    int
 }
 
 // CompileCorpus compiles every method of a corpus with the given compiler
@@ -69,6 +151,9 @@ func CompileCorpus(benchmark string, c *Compiler, corpus []*Method) SuiteStats {
 		s.IRSizeOut += st.IRSizeOut
 		s.CodeBytes += st.CodeBytes
 		s.BarrierSites += st.BarrierSites
+		s.BarriersElided += st.BarriersElided
+		s.BarriersHoisted += st.BarriersHoisted
+		s.ScheduleCost += st.ScheduleCost
 	}
 	return s
 }

@@ -1,0 +1,109 @@
+package jitsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// decodeMethod turns fuzz bytes into a bounded method: each 4-byte chunk
+// is one op (kind, A, B-as-signed-byte, C), capped at 96 ops. Branch
+// offsets are small signed values, so the decoder reaches backward loops,
+// forward diamonds, self-branches, and degenerate clamped targets.
+func decodeMethod(data []byte) *Method {
+	m := &Method{Name: "fuzz"}
+	for i := 0; i+4 <= len(data) && len(m.Ops) < 96; i += 4 {
+		k := OpKind(data[i] % 7)
+		op := Op{
+			Kind: k,
+			A:    int32(data[i+1] & 15),
+			B:    int32(int8(data[i+2])),
+			C:    int32(data[i+3] & 15),
+		}
+		if k == OpAlloc {
+			op.B = op.B&7 + 1
+		}
+		m.Ops = append(m.Ops, op)
+	}
+	return m
+}
+
+// FuzzElision is the adversarial twin of the shape tests: for arbitrary
+// methods, tier-1 compilation must preserve execution byte-for-byte
+// against the always-barrier oracle, never let a dereference escape its
+// safepoint interval unchecked, and never do more barrier work than the
+// oracle — statically (emitted pairs) or dynamically (tests and hits).
+func FuzzElision(f *testing.F) {
+	// Seed with the four analysis shapes plus a burst-heavy generated
+	// method, encoded through the same decoder the fuzzer uses.
+	encode := func(m *Method) []byte {
+		var out []byte
+		for _, op := range m.Ops {
+			b := op.B
+			if b > 127 {
+				b = 127
+			}
+			if b < -128 {
+				b = -128
+			}
+			out = append(out, byte(op.Kind), byte(op.A&15), byte(int8(b)), byte(op.C&15))
+		}
+		return out
+	}
+	for _, m := range ShapeCorpus() {
+		f.Add(encode(m))
+	}
+	f.Add(encode(Corpus("fuzzseed", 1, 60)[0]))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := decodeMethod(data)
+		if len(m.Ops) == 0 {
+			return
+		}
+		c := &Compiler{InsertReadBarriers: true}
+		cm0, st0 := c.CompileTier(m, Tier0)
+		cm1, st1 := c.CompileTier(m, Tier1)
+
+		if st0.BarrierSites != m.NumLoads() {
+			t.Fatalf("oracle emitted %d pairs for %d loads", st0.BarrierSites, m.NumLoads())
+		}
+		if got := st1.BarriersElided + st1.BarriersHoisted; got > st0.BarrierSites {
+			t.Fatalf("elided+hoisted %d > site count %d", got, st0.BarrierSites)
+		}
+		if st1.BarrierSites > st0.BarrierSites {
+			t.Fatalf("tier 1 emitted %d pairs, oracle %d", st1.BarrierSites, st0.BarrierSites)
+		}
+
+		r0, tr0 := cm0.RunTraced(2)
+		r1, tr1 := cm1.RunTraced(2)
+		if r0.Regs != r1.Regs {
+			t.Fatalf("execution diverged:\n ops   %v\n tier0 %v\n tier1 %v", dumpOps(m), r0.Regs, r1.Regs)
+		}
+		if tr1.Uncovered != 0 {
+			t.Fatalf("tier 1 left %d dereferences unchecked:\n %v", tr1.Uncovered, dumpOps(m))
+		}
+		if tr0.Uncovered != 0 {
+			t.Fatalf("oracle left %d dereferences unchecked (harness bug)", tr0.Uncovered)
+		}
+		if len(tr0.Snapshots) != len(tr1.Snapshots) {
+			t.Fatalf("interval counts differ: %d vs %d", len(tr0.Snapshots), len(tr1.Snapshots))
+		}
+		for i := range tr0.Snapshots {
+			if tr0.Snapshots[i] != tr1.Snapshots[i] {
+				t.Fatalf("checked set diverged at safepoint %d: %q vs %q:\n %v",
+					i, tr0.Snapshots[i], tr1.Snapshots[i], dumpOps(m))
+			}
+		}
+		if r1.BarrierTests > r0.BarrierTests || r1.BarrierHits > r0.BarrierHits {
+			t.Fatalf("tier 1 did more barrier work: tests %d/%d hits %d/%d:\n %v",
+				r1.BarrierTests, r0.BarrierTests, r1.BarrierHits, r0.BarrierHits, dumpOps(m))
+		}
+	})
+}
+
+func dumpOps(m *Method) string {
+	s := ""
+	for i, op := range m.Ops {
+		s += fmt.Sprintf("%3d: %s A=%d B=%d C=%d\n", i, op.Kind, op.A, op.B, op.C)
+	}
+	return s
+}

@@ -108,10 +108,10 @@ func TestCodeSizeOverheadNearTenPercent(t *testing.T) {
 
 func TestMachineExecution(t *testing.T) {
 	m := &Method{Name: "exec", Ops: []Op{
-		{Kind: OpConst, A: 0, B: 4}, // r0 = 4 (fields)
-		{Kind: OpAlloc, A: 1, B: 4}, // r1 = new object
-		{Kind: OpStoreField, A: 1, B: 2},
-		{Kind: OpLoadField, A: 1, B: 2},
+		{Kind: OpConst, A: 4, B: 9},            // r4 = 9
+		{Kind: OpAlloc, A: 1, B: 4},            // r1 = new object (4 fields)
+		{Kind: OpStoreField, A: 1, B: 2, C: 4}, // heap[r1].2 = r4
+		{Kind: OpLoadField, A: 3, B: 2, C: 1},  // r3 = heap[r1].2
 		{Kind: OpConst, A: 2, B: 7},
 		{Kind: OpArith, A: 2, B: 3}, // r2 = 7*31+3
 	}}
@@ -120,6 +120,9 @@ func TestMachineExecution(t *testing.T) {
 	res := cm.Run(1)
 	if res.Regs[2] != 7*31+3 {
 		t.Fatalf("r2 = %d", res.Regs[2])
+	}
+	if res.Regs[3] != 9 {
+		t.Fatalf("r3 = %d, want the stored field value 9", res.Regs[3])
 	}
 	// Barrier-compiled code computes the same results.
 	c.InsertReadBarriers = true
