@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet cover fuzz-smoke bench-smoke bench-phases bench-mutator bench-pause bench-jit chaos chaos-smoke
+.PHONY: all build test race vet cover fuzz-smoke bench-smoke bench-phases bench-mutator bench-pause bench-jit chaos chaos-smoke leakd-smoke leakd-demo leakd-soak
 
 all: build test vet
 
@@ -11,11 +11,12 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent collector, allocator, runtime
-# facade, fault-injection, observability, and JIT-simulation packages.
+# facade, fault-injection, observability, JIT-simulation, and daemon
+# packages.
 race:
 	$(GO) test -race ./internal/gc/... ./internal/heap/... ./internal/vm/... \
 		./internal/edgetable/... ./internal/offload/... ./internal/faultinject/... \
-		./internal/obs/... ./internal/jitsim/...
+		./internal/obs/... ./internal/jitsim/... ./internal/server/...
 
 vet:
 	$(GO) vet ./...
@@ -73,3 +74,21 @@ chaos:
 # seed-1 control and everything runs.
 chaos-smoke:
 	$(GO) run ./cmd/chaos -seeds 3 -iters 800 -o results/CHAOS_report.json -obs-dir results
+
+# Daemon smoke gate: boot leakd with the 4-tenant demo mix (one leaky
+# tenant with pruning off), drive it until the budget ladder evicts the
+# leak, self-scrape /metrics and /healthz over HTTP, assert the eviction
+# counter, and exit 0 on a clean drain.
+leakd-smoke:
+	$(GO) run ./cmd/leakd -smoke -addr 127.0.0.1:0
+
+# Interactive demo: 4 tenants self-driven for 20s while the HTTP API is
+# live — `curl localhost:8080/metrics` or /tenants from another shell.
+leakd-demo:
+	$(GO) run ./cmd/leakd -demo -addr 127.0.0.1:8080 -duration 20s -v
+
+# Budget-holding soak: >= 60s of 4-tenant traffic with one leaky tenant
+# cycling through eviction and re-admission; fails if resident bytes ever
+# exceed the budget or the ladder never reaches eviction.
+leakd-soak:
+	$(GO) run ./cmd/leakd -soak -addr 127.0.0.1:0 -duration 60s

@@ -123,6 +123,10 @@ type runRecord struct {
 	AuditViolations uint64   `json:"audit_violations"`
 	Violations      []string `json:"violations,omitempty"`
 
+	// Daemon (leakd-*) scenarios only.
+	Evictions   uint64 `json:"evictions,omitempty"`
+	Quarantines uint64 `json:"quarantines,omitempty"`
+
 	Escape              string `json:"escape,omitempty"`
 	EquivalenceMismatch string `json:"equivalence_mismatch,omitempty"`
 }
@@ -167,6 +171,7 @@ func main() {
 	for _, s := range scens {
 		rep.Scenarios = append(rep.Scenarios, s.name)
 	}
+	rep.Scenarios = append(rep.Scenarios, leakdScenarioNames()...)
 
 	start := time.Now()
 	// Fault-free control runs, one per (workload, workers) shape, are the
@@ -218,6 +223,22 @@ func main() {
 					rep.EquivalenceMismatches++
 				}
 			}
+		}
+	}
+
+	// Daemon-level scenarios: faults in one tenant, sibling live-set hashes
+	// compared byte-for-byte against a fault-free control daemon.
+	for _, rec := range runLeakdScenarios(*seeds, *verbose) {
+		rep.Runs = append(rep.Runs, rec)
+		rep.TotalRuns++
+		if rec.AuditViolations > 0 {
+			rep.AuditViolationRuns++
+		}
+		if rec.Escape != "" {
+			rep.EscapeRuns++
+		}
+		if rec.EquivalenceMismatch != "" {
+			rep.EquivalenceMismatches++
 		}
 	}
 

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"leakpruning/internal/edgetable"
 	"leakpruning/internal/gc"
@@ -89,6 +91,12 @@ type Controller struct {
 
 	cycle Cycle // live only during a SELECT-mode collection
 
+	// nearlyFull is the live OBSERVE → SELECT threshold, stored as
+	// math.Float64bits so a daemon's budget-pressure controller can tighten
+	// it between collections without racing FinishCycle (which reads it
+	// inside the stop-the-world section).
+	nearlyFull atomic.Uint64
+
 	exhaustMu  sync.Mutex
 	exhausted  bool
 	avertedOOM *vmerrors.OutOfMemoryError
@@ -109,7 +117,26 @@ func NewController(classes *heap.Registry, opts Options) *Controller {
 	if opts.Forced {
 		c.state = opts.ForceState
 	}
+	c.nearlyFull.Store(math.Float64bits(opts.NearlyFullFraction))
 	return c
+}
+
+// NearlyFullFraction returns the live OBSERVE → SELECT threshold.
+func (c *Controller) NearlyFullFraction() float64 {
+	return math.Float64frombits(c.nearlyFull.Load())
+}
+
+// SetNearlyFullFraction replaces the OBSERVE → SELECT threshold at runtime.
+// Values outside (0, 1) are rejected with false — the same bounds Options
+// validation enforces at construction. Multi-tenant hosts tighten this
+// under global budget pressure so pruning engages before the budget (not
+// just the per-tenant heap limit) is threatened.
+func (c *Controller) SetNearlyFullFraction(f float64) bool {
+	if math.IsNaN(f) || f <= 0 || f >= 1 {
+		return false
+	}
+	c.nearlyFull.Store(math.Float64bits(f))
+	return true
 }
 
 // Enabled reports whether pruning is configured (a policy is set).
@@ -203,7 +230,7 @@ func (c *Controller) FinishCycle(res gc.Result, hs heap.Stats) {
 			c.state = StateObserve
 		}
 	case StateObserve:
-		if fullness > c.opts.NearlyFullFraction {
+		if fullness > c.NearlyFullFraction() {
 			c.state = StateSelect
 		}
 	case StateSelect:
@@ -218,7 +245,7 @@ func (c *Controller) FinishCycle(res gc.Result, hs heap.Stats) {
 			// Under FullHeapOnly before the first exhaustion, stay in
 			// SELECT; NotifyExhaustion moves to PRUNE when the VM is about
 			// to throw an out-of-memory error.
-		} else if fullness <= c.opts.NearlyFullFraction {
+		} else if fullness <= c.NearlyFullFraction() {
 			c.state = StateObserve
 		}
 	case StatePrune:
@@ -236,7 +263,7 @@ func (c *Controller) FinishCycle(res gc.Result, hs heap.Stats) {
 		}
 		c.selection = nil
 		c.haveSel = false
-		if fullness <= c.opts.NearlyFullFraction {
+		if fullness <= c.NearlyFullFraction() {
 			c.state = StateObserve
 		} else {
 			c.state = StateSelect

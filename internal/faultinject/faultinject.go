@@ -77,8 +77,26 @@ const (
 	// behind the remark's ragged barrier. Runs with it armed must match
 	// fault-free controls.
 	RemarkStall
+	// TenantRequestPanic makes one tenant request handler in the leakd
+	// daemon panic mid-request (a raw, non-VM panic — the kind RunThread
+	// deliberately propagates). The server must recover it at the request
+	// boundary, convert it into a typed per-tenant error response, and leave
+	// every sibling tenant untouched.
+	TenantRequestPanic
+	// BudgetProbeStall stretches one budget-pressure probe with a
+	// semantics-free delay, modelling a slow metrics scrape. The ladder's
+	// decisions must be unaffected; runs with it armed must match fault-free
+	// controls on every per-tenant observable.
+	BudgetProbeStall
+	// EvictDrainTimeout makes one tenant eviction behave as if its in-flight
+	// requests failed to drain before the deadline, forcing the
+	// abandon-and-collect path instead of the graceful one.
+	EvictDrainTimeout
 
 	// NumPoints is the number of injection points (must stay last).
+	// New points are appended, never inserted: the decision hash is keyed
+	// by point index, so insertion would silently re-seed every later
+	// point's draw sequence (guarded by TestSeedStability).
 	NumPoints
 )
 
@@ -94,6 +112,9 @@ var pointNames = [NumPoints]string{
 	SafepointStall:          "safepoint-stall",
 	SATBBarrierDrop:         "satb-barrier-drop",
 	RemarkStall:             "remark-stall",
+	TenantRequestPanic:      "tenant-request-panic",
+	BudgetProbeStall:        "budget-probe-stall",
+	EvictDrainTimeout:       "evict-drain-timeout",
 }
 
 // String returns the point's campaign-report name.

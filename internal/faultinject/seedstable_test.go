@@ -1,0 +1,65 @@
+package faultinject
+
+import "testing"
+
+// TestSeedStability pins the injector's deterministic draw sequence for
+// every point that predates the daemon-level additions (TenantRequestPanic,
+// BudgetProbeStall, EvictDrainTimeout). The decision hash is keyed by the
+// point's index, so APPENDING points is draw-sequence-preserving but
+// INSERTING one would silently re-seed every later point — invalidating
+// every recorded chaos campaign and golden equivalence run. Each golden
+// mask below is bit n-1 = "draw n fires" for seed 0xC0FFEE at probability
+// 0.5 over the first 64 draws, recorded before the daemon points landed.
+func TestSeedStability(t *testing.T) {
+	golden := []struct {
+		point Point
+		mask  uint64
+	}{
+		{TraceWorkerPanic, 0x70dfc363c2103dff},
+		{TraceWatchdogTrip, 0x41951869ebaf0686},
+		{ShardFreeListCorruption, 0xe28281fb511c4e18},
+		{OffloadWriteFault, 0x18c0f2a388d372da},
+		{OffloadReadFault, 0xdbd3aa4995df864d},
+		{AllocLimitRace, 0x6763544739066513},
+		{FinalizerPanic, 0xcd9d9e0a31e70d5e},
+		{EdgeTableOverflow, 0x61c1fedbcf62fa85},
+		{SafepointStall, 0x729f794b396aaf8e},
+		{SATBBarrierDrop, 0x490db11ccc8ab34f},
+		{RemarkStall, 0x6adf05f0975a30c4},
+	}
+	// The pre-daemon points must keep their indices (the hash key).
+	for i, g := range golden {
+		if int(g.point) != i {
+			t.Fatalf("point %v moved to index %d (want %d): inserting points re-seeds later draw sequences", g.point, g.point, i)
+		}
+	}
+	if NumPoints != Point(len(golden))+3 {
+		t.Fatalf("NumPoints = %d, want %d (3 daemon points appended after the %d golden ones)",
+			NumPoints, len(golden)+3, len(golden))
+	}
+	for _, g := range golden {
+		inj := New(0xC0FFEE)
+		inj.Arm(g.point, 0.5)
+		var mask uint64
+		for n := 0; n < 64; n++ {
+			if inj.Should(g.point) {
+				mask |= 1 << n
+			}
+		}
+		if mask != g.mask {
+			t.Errorf("%v: draw sequence changed: got 0x%016x, want 0x%016x", g.point, mask, g.mask)
+		}
+	}
+}
+
+// TestDaemonPointNames covers the appended daemon-level points' name round
+// trip alongside the existing ones.
+func TestDaemonPointNames(t *testing.T) {
+	for _, p := range []Point{TenantRequestPanic, BudgetProbeStall, EvictDrainTimeout} {
+		name := p.String()
+		got, ok := PointByName(name)
+		if !ok || got != p {
+			t.Fatalf("PointByName(%q) = %v, %v; want %v, true", name, got, ok, p)
+		}
+	}
+}

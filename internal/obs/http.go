@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+)
+
+// Handler returns an http.Handler serving the registry over HTTP with
+// content-type negotiation: Prometheus text exposition by default, the
+// sorted JSON snapshot when the client asks for JSON (Accept header
+// preferring application/json, or ?format=json). It is the exporter
+// cmd/leakd mounts at /metrics, so daemons never reimplement export.
+//
+// A nil *Obs (observability disabled) yields a handler answering 503, so a
+// daemon can mount the route unconditionally.
+func Handler(o *Obs) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if o == nil {
+			http.Error(w, "observability disabled", http.StatusServiceUnavailable)
+			return
+		}
+		if wantsJSON(r) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			if err := o.Registry().WriteJSON(w); err != nil {
+				// Headers are gone; all we can do is abort the body.
+				return
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.Registry().WritePrometheus(w)
+	})
+}
+
+// wantsJSON reports whether the request prefers the JSON snapshot over
+// Prometheus text: an explicit ?format=json wins, otherwise the Accept
+// header must name application/json (or application/*) without also
+// accepting text/plain earlier in the list.
+func wantsJSON(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "json":
+		return true
+	case "prometheus", "text":
+		return false
+	}
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch mt {
+		case "application/json", "application/*":
+			return true
+		case "text/plain", "text/*", "*/*":
+			return false
+		}
+	}
+	return false
+}

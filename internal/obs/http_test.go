@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHandlerContentNegotiation exercises the /metrics exporter's format
+// selection: Prometheus text by default, JSON on Accept or ?format=json,
+// and the explicit format override beating the Accept header.
+func TestHandlerContentNegotiation(t *testing.T) {
+	o := New()
+	o.Registry().NewCounter("lp_test_requests_total", "requests served").Add(7)
+	o.Registry().NewGauge("lp_test_pressure_level", "ladder level").Set(2)
+	h := Handler(o)
+
+	cases := []struct {
+		name    string
+		target  string
+		accept  string
+		wantCT  string
+		wantSub string
+	}{
+		{"default is prometheus", "/metrics", "", "text/plain", "lp_test_requests_total 7"},
+		{"curl-style accept-anything stays prometheus", "/metrics", "*/*", "text/plain", "lp_test_requests_total 7"},
+		{"accept json", "/metrics", "application/json", "application/json", `"lp_test_requests_total"`},
+		{"text preferred over json when listed first", "/metrics", "text/plain, application/json", "text/plain", "lp_test_pressure_level 2"},
+		{"format override beats accept", "/metrics?format=json", "text/plain", "application/json", `"lp_test_pressure_level"`},
+		{"format=prometheus beats json accept", "/metrics?format=prometheus", "application/json", "text/plain", "lp_test_requests_total 7"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest(http.MethodGet, tc.target, nil)
+			if tc.accept != "" {
+				req.Header.Set("Accept", tc.accept)
+			}
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("status %d, want 200", rec.Code)
+			}
+			if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, tc.wantCT) {
+				t.Fatalf("content type %q, want prefix %q", ct, tc.wantCT)
+			}
+			if body := rec.Body.String(); !strings.Contains(body, tc.wantSub) {
+				t.Fatalf("body missing %q:\n%s", tc.wantSub, body)
+			}
+			if strings.HasPrefix(tc.wantCT, "application/json") {
+				var snap any
+				if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+					t.Fatalf("JSON body does not parse: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestHandlerNilObs: the handler must be mountable with observability
+// disabled and answer 503 rather than panic.
+func TestHandlerNilObs(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("nil obs: status %d, want 503", rec.Code)
+	}
+}

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func testConfig() Config {
+	return Config{
+		Budget:         1 << 20,
+		RequestTimeout: 10 * time.Second,
+		DrainTimeout:   2 * time.Second,
+	}
+}
+
+func mustServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { s.Shutdown() })
+	return s
+}
+
+func wantAdmissionReason(t *testing.T, err error, reason string) {
+	t.Helper()
+	var ae *AdmissionError
+	if !errors.As(err, &ae) {
+		t.Fatalf("got %v (%T), want *AdmissionError reason %q", err, err, reason)
+	}
+	if ae.Reason != reason {
+		t.Fatalf("admission reason %q, want %q (err: %v)", ae.Reason, reason, err)
+	}
+}
+
+// TestAdmissionControl exercises every typed rejection path: a tenant must
+// never reach a VM the budget, the overcommit bound, or its own config
+// forbids.
+func TestAdmissionControl(t *testing.T) {
+	s := mustServer(t, testConfig()) // budget 1 MiB, overcommit 2x
+
+	// Happy path first.
+	if _, err := s.Admit(TenantConfig{Name: "a", Workload: "listleak", Policy: "default", HeapLimit: 512 << 10}); err != nil {
+		t.Fatalf("admit a: %v", err)
+	}
+
+	// A single heap limit larger than the whole budget.
+	_, err := s.Admit(TenantConfig{Name: "big", Workload: "listleak", Policy: "default", HeapLimit: 2 << 20})
+	wantAdmissionReason(t, err, "budget-exceeded")
+	if !IsAdmission(err) {
+		t.Fatalf("IsAdmission(%v) = false", err)
+	}
+
+	// Name collision.
+	_, err = s.Admit(TenantConfig{Name: "a", Workload: "listleak", Policy: "default", HeapLimit: 256 << 10})
+	wantAdmissionReason(t, err, "duplicate-name")
+
+	// Unknown policy and unknown workload are config errors, not panics.
+	_, err = s.Admit(TenantConfig{Name: "badpol", Workload: "listleak", Policy: "nope", HeapLimit: 256 << 10})
+	wantAdmissionReason(t, err, "invalid-config")
+	_, err = s.Admit(TenantConfig{Name: "badwl", Workload: "nope", Policy: "default", HeapLimit: 256 << 10})
+	wantAdmissionReason(t, err, "invalid-config")
+	_, err = s.Admit(TenantConfig{Name: "", Workload: "listleak", Policy: "default", HeapLimit: 256 << 10})
+	wantAdmissionReason(t, err, "invalid-config")
+
+	// Overcommit: 2x * 1 MiB = 2 MiB bound; 512 KiB committed, so a
+	// second 1 MiB fits but a further 1 MiB does not.
+	if _, err := s.Admit(TenantConfig{Name: "b", Workload: "listleak", Policy: "default", HeapLimit: 1 << 20}); err != nil {
+		t.Fatalf("admit b: %v", err)
+	}
+	_, err = s.Admit(TenantConfig{Name: "c", Workload: "listleak", Policy: "default", HeapLimit: 1 << 20})
+	wantAdmissionReason(t, err, "overcommit-exceeded")
+
+	// Requests to tenants that were never admitted are typed too.
+	if _, err := s.RunRequest("ghost", 1); err == nil || !errors.As(err, new(*UnknownTenantError)) {
+		t.Fatalf("RunRequest(ghost) = %v, want *UnknownTenantError", err)
+	}
+
+	// Draining rejects both admissions and requests.
+	if _, err := s.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	_, err = s.Admit(TenantConfig{Name: "late", Workload: "listleak", Policy: "default", HeapLimit: 256 << 10})
+	wantAdmissionReason(t, err, "draining")
+	_, err = s.RunRequest("a", 1)
+	wantAdmissionReason(t, err, "draining")
+}
+
+// TestRollingConfigUpdate covers the no-restart reload path: threshold
+// changes land on the live VM, invalid updates are rejected atomically,
+// and structural changes swap in a fresh validated session.
+func TestRollingConfigUpdate(t *testing.T) {
+	s := mustServer(t, testConfig())
+	tn, err := s.Admit(TenantConfig{Name: "a", Workload: "listleak", Policy: "default", HeapLimit: 512 << 10})
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if got := tn.currentVM().NearlyFullFraction(); got != 0.9 {
+		t.Fatalf("initial nearly-full %g, want the paper's 0.9", got)
+	}
+
+	// In-place: only the threshold changes; the session survives.
+	if err := s.UpdateTenant("a", TenantConfig{NearlyFullFraction: 0.8}); err != nil {
+		t.Fatalf("in-place update: %v", err)
+	}
+	if got := tn.currentVM().NearlyFullFraction(); got != 0.8 {
+		t.Fatalf("nearly-full after update %g, want 0.8", got)
+	}
+
+	// Invalid update: rejected with a typed error, nothing changes.
+	err = s.UpdateTenant("a", TenantConfig{Policy: "nope"})
+	wantAdmissionReason(t, err, "invalid-config")
+	if got := tn.Config().Policy; got != "default" {
+		t.Fatalf("policy after rejected update %q, want default", got)
+	}
+	err = s.UpdateTenant("a", TenantConfig{HeapLimit: 4 << 20})
+	wantAdmissionReason(t, err, "budget-exceeded")
+
+	// Structural change (heap limit) swaps the session.
+	before := tn.currentVM()
+	if err := s.UpdateTenant("a", TenantConfig{HeapLimit: 768 << 10, Policy: "most-stale"}); err != nil {
+		t.Fatalf("session-swap update: %v", err)
+	}
+	if tn.currentVM() == before {
+		t.Fatal("session-swap update kept the old VM")
+	}
+	if got := tn.Config(); got.HeapLimit != 768<<10 || got.Policy != "most-stale" {
+		t.Fatalf("config after swap = %+v", got)
+	}
+	// The swapped session still serves.
+	if _, err := s.RunRequest("a", 3); err != nil {
+		t.Fatalf("request after swap: %v", err)
+	}
+
+	if err := s.UpdateTenant("ghost", TenantConfig{}); !errors.As(err, new(*UnknownTenantError)) {
+		t.Fatalf("UpdateTenant(ghost) = %v, want *UnknownTenantError", err)
+	}
+}
+
+// TestSessionRestartOnOOM: a tenant whose policy cannot avert exhaustion
+// dies at its heap limit — scoped to its own session, which the daemon
+// restarts so the slot keeps serving.
+func TestSessionRestartOnOOM(t *testing.T) {
+	s := mustServer(t, testConfig())
+	tn, err := s.Admit(TenantConfig{Name: "leaky", Workload: "listleak", Policy: "off", HeapLimit: 128 << 10})
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	// listleak leaks ~23 KiB per iteration; 200 iterations vastly exceeds
+	// the 128 KiB session heap.
+	var sawOOM bool
+	for i := 0; i < 5 && !sawOOM; i++ {
+		_, err = s.RunRequest("leaky", 200)
+		if err != nil {
+			sawOOM = true
+		}
+	}
+	if !sawOOM {
+		t.Fatal("no OOM after 1000 leaking iterations in a 128 KiB heap")
+	}
+	if got := tn.restarts.Load(); got == 0 {
+		t.Fatalf("session restarts = %d, want >= 1", got)
+	}
+	if st := tn.State(); st != TenantServing {
+		t.Fatalf("tenant state after restart = %v, want serving", st)
+	}
+	// The fresh session serves normally.
+	if _, err := s.RunRequest("leaky", 1); err != nil {
+		t.Fatalf("request after restart: %v", err)
+	}
+}

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"errors"
+	"testing"
+
+	"leakpruning/internal/faultinject"
+	"leakpruning/internal/obs"
+)
+
+// driveSibling runs the fixed request sequence the isolation tests use for
+// the well-behaved tenant: enough leaking iterations in a small pruned
+// heap to force several full SELECT/PRUNE collections.
+func driveSibling(t *testing.T, s *Server, name string) {
+	t.Helper()
+	for i := 0; i < 12; i++ {
+		if _, err := s.RunRequest(name, 25); err != nil {
+			t.Fatalf("sibling %s request %d: %v", name, i, err)
+		}
+	}
+}
+
+// TestCrashIsolation is the tentpole guarantee in miniature: a tenant
+// whose request handler panics on every request (1) returns typed
+// per-tenant errors instead of crashing the daemon, (2) is quarantined
+// after K consecutive faults, and (3) leaves a sibling tenant's per-cycle
+// live-set hashes BYTE-IDENTICAL to a control daemon that never saw a
+// fault.
+func TestCrashIsolation(t *testing.T) {
+	sibling := TenantConfig{Name: "good", Workload: "listleak", Policy: "default", HeapLimit: 256 << 10}
+
+	// Control: the sibling alone, no faults anywhere.
+	control := mustServer(t, testConfig())
+	if _, err := control.Admit(sibling); err != nil {
+		t.Fatalf("control admit: %v", err)
+	}
+	driveSibling(t, control, "good")
+	controlHashes := control.tenant("good").CycleHashes()
+	if len(controlHashes) == 0 {
+		t.Fatal("control sibling ran no collections; the oracle is vacuous")
+	}
+
+	// Faulty daemon: same sibling plus a tenant that panics on every
+	// request.
+	cfg := testConfig()
+	cfg.QuarantineThreshold = 3
+	cfg.Obs = obs.New()
+	s := mustServer(t, cfg)
+	if _, err := s.Admit(sibling); err != nil {
+		t.Fatalf("admit sibling: %v", err)
+	}
+	inj := faultinject.New(1)
+	inj.Arm(faultinject.TenantRequestPanic, 1.0)
+	bad, err := s.Admit(TenantConfig{Name: "bad", Workload: "listleak", Policy: "default",
+		HeapLimit: 256 << 10, DaemonInjector: inj})
+	if err != nil {
+		t.Fatalf("admit bad: %v", err)
+	}
+
+	// Interleave: sibling requests between panic storms.
+	for i := 0; i < 3; i++ {
+		_, err := s.RunRequest("bad", 5)
+		var pe *RequestPanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("storm request %d: got %v (%T), want *RequestPanicError", i, err, err)
+		}
+		if pe.Tenant != "bad" {
+			t.Fatalf("panic error names tenant %q, want bad", pe.Tenant)
+		}
+	}
+	driveSibling(t, s, "good")
+
+	// K = 3 consecutive faults => quarantined; further requests are
+	// rejected with the tenant's state, not served.
+	if st := bad.State(); st != TenantQuarantined {
+		t.Fatalf("bad tenant state = %v, want quarantined", st)
+	}
+	_, err = s.RunRequest("bad", 1)
+	var tu *TenantUnavailableError
+	if !errors.As(err, &tu) || tu.State != TenantQuarantined {
+		t.Fatalf("request to quarantined tenant = %v, want *TenantUnavailableError{quarantined}", err)
+	}
+	if got := s.mQuarantines.Load(); got != 1 {
+		t.Fatalf("lp_tenant_quarantines_total = %d, want 1", got)
+	}
+
+	// The isolation proof: the sibling's per-cycle live-set hashes are
+	// byte-identical to the fault-free control's.
+	gotHashes := s.tenant("good").CycleHashes()
+	if len(gotHashes) != len(controlHashes) {
+		t.Fatalf("sibling ran %d collections, control ran %d", len(gotHashes), len(controlHashes))
+	}
+	for i := range gotHashes {
+		if gotHashes[i] != controlHashes[i] {
+			t.Fatalf("cycle %d live-set hash diverged: %#x vs control %#x", i, gotHashes[i], controlHashes[i])
+		}
+	}
+
+	// A success resets the consecutive-fault counter (no spurious
+	// quarantine from interleaved faults).
+	if got := s.tenant("good").consecFaults.Load(); got != 0 {
+		t.Fatalf("sibling consecutive faults = %d, want 0", got)
+	}
+}
+
+// TestQuarantineRequiresConsecutive: faults separated by successes never
+// quarantine — only K in a row do.
+func TestQuarantineRequiresConsecutive(t *testing.T) {
+	cfg := testConfig()
+	cfg.QuarantineThreshold = 3
+	s := mustServer(t, cfg)
+	inj := faultinject.New(7)
+	tn, err := s.Admit(TenantConfig{Name: "flaky", Workload: "listleak", Policy: "default",
+		HeapLimit: 256 << 10, DaemonInjector: inj})
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	for round := 0; round < 4; round++ {
+		// Two faults...
+		inj.Arm(faultinject.TenantRequestPanic, 1.0)
+		for i := 0; i < 2; i++ {
+			if _, err := s.RunRequest("flaky", 1); err == nil {
+				t.Fatal("armed request did not fault")
+			}
+		}
+		// ...then a success resets the streak.
+		inj.Arm(faultinject.TenantRequestPanic, 0)
+		if _, err := s.RunRequest("flaky", 1); err != nil {
+			t.Fatalf("disarmed request faulted: %v", err)
+		}
+		if st := tn.State(); st != TenantServing {
+			t.Fatalf("round %d: state = %v, want serving", round, st)
+		}
+	}
+	if got := tn.faults.Load(); got != 8 {
+		t.Fatalf("faults = %d, want 8", got)
+	}
+}

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func isDraining(err error) bool {
+	var ae *AdmissionError
+	return errors.As(err, &ae) && ae.Reason == "draining"
+}
+
+// TestGracefulShutdownOrdering races Shutdown against a storm of request
+// workers under -race and checks the drain contract: once readiness flips
+// false no request executes (RunRequest re-checks acceptance after joining
+// the in-flight group), every in-flight request completes or is cancelled
+// by the drain deadline, and the final per-tenant audit passes.
+func TestGracefulShutdownOrdering(t *testing.T) {
+	cfg := testConfig()
+	cfg.DrainTimeout = 500 * time.Millisecond
+	s := mustServer(t, cfg)
+	names := []string{"t0", "t1", "t2"}
+	for _, n := range names {
+		if _, err := s.Admit(TenantConfig{Name: n, Workload: "listleak", Policy: "default", HeapLimit: 256 << 10}); err != nil {
+			t.Fatalf("admit %s: %v", n, err)
+		}
+	}
+
+	var (
+		wg         sync.WaitGroup
+		stop       = make(chan struct{})
+		violations atomic.Int64
+		executed   atomic.Int64
+		rejected   atomic.Int64
+		cancelled  atomic.Int64
+	)
+	for w := 0; w < 6; w++ {
+		name := names[w%len(names)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				wasReady := s.Ready()
+				_, err := s.RunRequest(name, 20)
+				switch {
+				case isDraining(err):
+					rejected.Add(1)
+				case errors.As(err, new(*RequestCancelledError)):
+					cancelled.Add(1)
+					executed.Add(1)
+				case err == nil:
+					executed.Add(1)
+					// The request executed; if readiness was already false
+					// BEFORE we called, the drain ordering is broken — a
+					// request slipped in after /readyz flipped.
+					if !wasReady {
+						violations.Add(1)
+					}
+				default:
+					t.Errorf("unexpected request outcome: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Let the storm establish itself, then drain under it.
+	time.Sleep(50 * time.Millisecond)
+	rep, err := s.Shutdown()
+	if err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// After Shutdown returns nothing is in flight: the next request is a
+	// typed draining rejection, deterministically.
+	if _, rerr := s.RunRequest(names[0], 1); !isDraining(rerr) {
+		t.Fatalf("request after shutdown = %v, want draining rejection", rerr)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := violations.Load(); got != 0 {
+		t.Fatalf("%d requests executed after readiness flipped false", got)
+	}
+	if executed.Load() == 0 {
+		t.Fatal("no request executed before the drain; the race is vacuous")
+	}
+	if rejected.Load() == 0 {
+		t.Fatal("no request saw the draining rejection; the race is vacuous")
+	}
+	if rep.Tenants != len(names) {
+		t.Fatalf("report covers %d tenants, want %d", rep.Tenants, len(names))
+	}
+	if len(rep.AuditViolations) != 0 {
+		t.Fatalf("final audits found violations: %v", rep.AuditViolations)
+	}
+	// Idempotent: a second Shutdown returns the same report.
+	rep2, err2 := s.Shutdown()
+	if rep2 != rep || err2 != nil {
+		t.Fatalf("second Shutdown = (%p, %v), want the first report (%p, nil)", rep2, err2, rep)
+	}
+	_ = cancelled.Load() // cancellation is exercised deterministically below
+}
+
+// TestShutdownCancelsOverstayingRequest pins the drain-deadline path: a
+// request spinning a long non-leaking workload is cut at an iteration
+// boundary when the deadline expires, surfaces *RequestCancelledError with
+// partial progress, and the final audit still passes.
+func TestShutdownCancelsOverstayingRequest(t *testing.T) {
+	cfg := testConfig()
+	cfg.DrainTimeout = 50 * time.Millisecond
+	s := mustServer(t, cfg)
+	tn, err := s.Admit(TenantConfig{Name: "spin", Workload: "antlr", HeapLimit: 512 << 10})
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+
+	type outcome struct {
+		done int
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		done, rerr := s.RunRequest("spin", 1_000_000) // hours of work, uninterrupted
+		ch <- outcome{done, rerr}
+	}()
+	// Wait until the request is genuinely executing.
+	for tn.requests.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+
+	rep, err := s.Shutdown()
+	if err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	out := <-ch
+	var ce *RequestCancelledError
+	if !errors.As(out.err, &ce) {
+		t.Fatalf("overstaying request returned %v (%T), want *RequestCancelledError", out.err, out.err)
+	}
+	if ce.IterationsDone != out.done || out.done <= 0 || out.done >= 1_000_000 {
+		t.Fatalf("cancelled after %d iterations (error says %d): want partial progress", out.done, ce.IterationsDone)
+	}
+	if rep.DrainedCleanly {
+		t.Fatal("report claims a clean drain despite the forced cancellation")
+	}
+	if rep.CancelledInDrain == 0 {
+		t.Fatal("report shows no cancelled requests")
+	}
+	if len(rep.AuditViolations) != 0 {
+		t.Fatalf("final audit found violations after cancellation: %v", rep.AuditViolations)
+	}
+	// Cancellation is the daemon's fault, never the tenant's: no
+	// quarantine pressure accrues.
+	if got := tn.consecFaults.Load(); got != 0 {
+		t.Fatalf("cancelled request counted toward quarantine: consecutive faults = %d", got)
+	}
+}

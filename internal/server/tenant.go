@@ -1,0 +1,421 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"leakpruning/internal/core"
+	"leakpruning/internal/faultinject"
+	"leakpruning/internal/obs"
+	"leakpruning/internal/vm"
+	"leakpruning/internal/workload"
+)
+
+// TenantState is one tenant's lifecycle position: admit → serve →
+// (pressure) → evict/quarantine → drain. See DESIGN.md's state diagram.
+type TenantState int32
+
+const (
+	// TenantServing accepts requests.
+	TenantServing TenantState = iota
+	// TenantQuarantined stopped accepting after K consecutive faults; the
+	// VM is kept (for diagnosis and a possible operator-driven restart via
+	// the config endpoint) but no request reaches it.
+	TenantQuarantined
+	// TenantEvicting is mid-eviction: new requests are rejected while
+	// in-flight ones drain against the deadline.
+	TenantEvicting
+	// TenantEvicted is terminal; the slot is released from the budget.
+	TenantEvicted
+)
+
+func (s TenantState) String() string {
+	switch s {
+	case TenantServing:
+		return "serving"
+	case TenantQuarantined:
+		return "quarantined"
+	case TenantEvicting:
+		return "evicting"
+	case TenantEvicted:
+		return "evicted"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// TenantConfig describes one tenant VM: its workload, pruning policy, and
+// heap limit. It is the admission request body and the unit of rolling
+// config updates.
+type TenantConfig struct {
+	// Name identifies the tenant in every route, metric label, and log.
+	Name string `json:"name"`
+	// Workload names the session program driven by this tenant's requests
+	// (see workload.Names).
+	Workload string `json:"workload"`
+	// Policy is the pruning policy: "off" (no pruning — the tenant dies at
+	// its heap limit and is session-restarted), "default", "most-stale",
+	// "indiv-refs", "decay", or "melt" (the disk-offload baseline).
+	Policy string `json:"policy"`
+	// HeapLimit is the tenant VM's simulated heap in bytes. Admission
+	// enforces HeapLimit <= budget and the overcommit bound on the sum.
+	HeapLimit uint64 `json:"heap_limit"`
+	// MarkMode is "" or "stw" (default), or "concurrent".
+	MarkMode string `json:"mark_mode,omitempty"`
+	// GCWorkers sets tracer parallelism (0 = 1: tenants are many, cores are
+	// few, and single-worker tracing keeps per-tenant behavior
+	// deterministic for the isolation proofs).
+	GCWorkers int `json:"gc_workers,omitempty"`
+	// NearlyFullFraction seeds the tenant's OBSERVE → SELECT threshold
+	// (0 = the paper's 0.9). The budget ladder may tighten it at runtime.
+	NearlyFullFraction float64 `json:"nearly_full_fraction,omitempty"`
+	// DiskLimit sizes the melt policy's simulated disk (0 = 2x heap).
+	DiskLimit uint64 `json:"disk_limit,omitempty"`
+	// AuditEveryGC arms the heap invariant audit inside every collection.
+	AuditEveryGC bool `json:"audit_every_gc,omitempty"`
+
+	// VMInjector arms fault injection inside this tenant's VM (nil = off).
+	VMInjector *faultinject.Injector `json:"-"`
+	// DaemonInjector arms the daemon-level points (TenantRequestPanic,
+	// EvictDrainTimeout) for this tenant only (nil = off). Chaos scenarios
+	// use it to storm one tenant while its siblings run clean.
+	DaemonInjector *faultinject.Injector `json:"-"`
+}
+
+// vmOptions translates the tenant config into vm.Options. The result is
+// validated with vm.ValidateOptions before any VM is constructed, so a bad
+// rolling update is rejected with a typed error instead of panicking the
+// daemon mid-swap.
+func (tc TenantConfig) vmOptions(o *obs.Obs) (vm.Options, error) {
+	opts := vm.Options{
+		HeapLimit:          tc.HeapLimit,
+		EnableBarriers:     true,
+		GCWorkers:          tc.GCWorkers,
+		NearlyFullFraction: tc.NearlyFullFraction,
+		FaultInjector:      tc.VMInjector,
+		AuditEveryGC:       tc.AuditEveryGC,
+		HashLiveSet:        true,
+		Obs:                o,
+	}
+	if opts.GCWorkers == 0 {
+		opts.GCWorkers = 1
+	}
+	switch tc.Policy {
+	case "melt":
+		opts.OffloadDisk = tc.DiskLimit
+		if opts.OffloadDisk == 0 {
+			opts.OffloadDisk = 2 * tc.HeapLimit
+		}
+	case "", "off", "base", "none":
+		// No pruning: barriers stay on so staleness metrics exist, but the
+		// tenant relies on plain collection (and session restarts at OOM).
+	default:
+		p, err := core.PolicyByName(tc.Policy)
+		if err != nil {
+			return vm.Options{}, err
+		}
+		opts.Policy = p
+	}
+	switch tc.MarkMode {
+	case "", "stw":
+	case "concurrent":
+		opts.MarkMode = vm.MarkConcurrent
+	default:
+		return vm.Options{}, fmt.Errorf("server: unknown mark mode %q", tc.MarkMode)
+	}
+	if err := vm.ValidateOptions(opts); err != nil {
+		return vm.Options{}, err
+	}
+	return opts, nil
+}
+
+// Tenant is one hosted session: a VM, its workload program, and the
+// fault-isolation bookkeeping around them. Requests are serialized per
+// tenant through lockCh (a channel so eviction and shutdown can attempt
+// timed acquisition); distinct tenants serve fully in parallel.
+type Tenant struct {
+	srv *Server
+
+	// cfgMu guards cfg (rolling updates rewrite it).
+	cfgMu sync.Mutex
+	cfg   TenantConfig
+
+	// lockCh is the request lock: one token means "free".
+	lockCh chan struct{}
+
+	// vmMu guards the vm/program pointers only (held for pointer swaps and
+	// reads, never across a request), so the budget prober can reach the
+	// current VM while a request holds lockCh.
+	vmMu  sync.Mutex
+	vm    *vm.VM
+	prog  workload.Program
+	ready bool // Setup has run on the current session
+
+	state atomic.Int32 // TenantState
+
+	// cancel asks the in-flight request to stop at its next iteration
+	// boundary (evict drain, daemon shutdown).
+	cancel atomic.Bool
+
+	// iter is the workload's absolute iteration cursor for this session.
+	iter int
+
+	// Fault bookkeeping (mu-free: written only under lockCh plus the
+	// watchdog path, so atomics keep the -race suite honest).
+	consecFaults atomic.Int64
+	requests     atomic.Uint64
+	faults       atomic.Uint64
+	restarts     atomic.Uint64
+	cancelled    atomic.Uint64
+
+	lastErrMu sync.Mutex
+	lastErr   string
+
+	// hashMu guards the per-cycle live-set hash log (appended from OnGC
+	// inside the tenant VM's stop-the-world pauses; read by chaos).
+	hashMu sync.Mutex
+	hashes []uint64
+
+	// residentGauge is this tenant's lp_tenant_resident_bytes series.
+	residentGauge *obs.Gauge
+}
+
+// newTenant builds the tenant shell and its first session VM.
+func newTenant(s *Server, cfg TenantConfig) (*Tenant, error) {
+	t := &Tenant{srv: s, cfg: cfg, lockCh: make(chan struct{}, 1)}
+	t.lockCh <- struct{}{} // free
+	t.residentGauge = s.reg().NewGauge("lp_tenant_resident_bytes",
+		"per-tenant resident heap bytes", obs.L("tenant", cfg.Name))
+	if err := t.startSession(cfg); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// startSession replaces the tenant's VM and program with a fresh session
+// built from cfg. Callers must ensure no request is running (hold the
+// request lock or be the constructor).
+func (t *Tenant) startSession(cfg TenantConfig) error {
+	opts, err := cfg.vmOptions(t.srv.obs)
+	if err != nil {
+		return err
+	}
+	prog, err := workload.New(cfg.Workload)
+	if err != nil {
+		return err
+	}
+	opts.OnGC = func(ev vm.Event) {
+		t.hashMu.Lock()
+		t.hashes = append(t.hashes, ev.LiveHash)
+		t.hashMu.Unlock()
+	}
+	machine := vm.New(opts)
+	t.vmMu.Lock()
+	t.vm = machine
+	t.prog = prog
+	t.ready = false
+	t.vmMu.Unlock()
+	t.iter = 0
+	return nil
+}
+
+// currentVM returns the live session VM (prober, metrics, audits).
+func (t *Tenant) currentVM() *vm.VM {
+	t.vmMu.Lock()
+	defer t.vmMu.Unlock()
+	return t.vm
+}
+
+// State returns the tenant's lifecycle state.
+func (t *Tenant) State() TenantState { return TenantState(t.state.Load()) }
+
+// Config returns a copy of the tenant's current configuration.
+func (t *Tenant) Config() TenantConfig {
+	t.cfgMu.Lock()
+	defer t.cfgMu.Unlock()
+	return t.cfg
+}
+
+// CycleHashes returns the per-cycle live-set hash log across the tenant's
+// current session — the byte-identical-sibling oracle the chaos isolation
+// scenarios compare against a fault-free control.
+func (t *Tenant) CycleHashes() []uint64 {
+	t.hashMu.Lock()
+	defer t.hashMu.Unlock()
+	return append([]uint64(nil), t.hashes...)
+}
+
+// acquire takes the request lock, or gives up after d (d <= 0: wait
+// forever).
+func (t *Tenant) acquire(d time.Duration) bool {
+	if d <= 0 {
+		<-t.lockCh
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-t.lockCh:
+		return true
+	case <-timer.C:
+		return false
+	}
+}
+
+func (t *Tenant) release() { t.lockCh <- struct{}{} }
+
+// setLastErr records the most recent fault for /tenants.
+func (t *Tenant) setLastErr(err error) {
+	t.lastErrMu.Lock()
+	if err == nil {
+		t.lastErr = ""
+	} else {
+		t.lastErr = err.Error()
+	}
+	t.lastErrMu.Unlock()
+}
+
+// LastError returns the most recent fault message ("" when the last
+// request succeeded).
+func (t *Tenant) LastError() string {
+	t.lastErrMu.Lock()
+	defer t.lastErrMu.Unlock()
+	return t.lastErr
+}
+
+// serve executes one request (iters workload iterations) on the session.
+// Caller holds the request lock. The three failure classes are kept apart
+// deliberately:
+//
+//   - VM traps (OutOfMemoryError, InternalError, OffloadError) arrive as
+//     typed errors from RunThread — the leak-pruning outcome the daemon
+//     exists to host;
+//   - raw panics (the TenantRequestPanic injection stands in for handler
+//     bugs) are recovered HERE, at the tenant boundary, and converted to
+//     *RequestPanicError — the crash-isolation guarantee;
+//   - drain cancellation surfaces as *RequestCancelledError at an
+//     iteration boundary.
+func (t *Tenant) serve(iters int) (done int, err error) {
+	cfg := t.Config()
+	defer func() {
+		if r := recover(); r != nil {
+			err = &RequestPanicError{Tenant: cfg.Name, Panic: fmt.Sprint(r)}
+		}
+	}()
+	t.vmMu.Lock()
+	machine, prog, ready := t.vm, t.prog, t.ready
+	t.vmMu.Unlock()
+	reqName := fmt.Sprintf("%s/req-%d", cfg.Name, t.requests.Load())
+	runErr := machine.RunThread(reqName, func(th *vm.Thread) {
+		if cfg.DaemonInjector.Should(faultinject.TenantRequestPanic) {
+			panic(fmt.Sprintf("faultinject: tenant %s request handler panic", cfg.Name))
+		}
+		if !ready {
+			th.Scope(func() { prog.Setup(th) })
+			t.vmMu.Lock()
+			t.ready = true
+			t.vmMu.Unlock()
+		}
+		for i := 0; i < iters; i++ {
+			if t.cancel.Load() || t.srv.cancelAll.Load() {
+				return
+			}
+			th.Scope(func() { prog.Iterate(th, t.iter) })
+			t.iter++
+			done = i + 1
+		}
+	})
+	if runErr != nil {
+		return done, runErr
+	}
+	if done < iters {
+		t.cancelled.Add(1)
+		return done, &RequestCancelledError{Tenant: cfg.Name, IterationsDone: done}
+	}
+	return done, nil
+}
+
+// recordOutcome updates fault bookkeeping after a request and flips the
+// tenant into quarantine at the K-th consecutive fault. Session restarts
+// (OOM) are handled by the caller.
+func (t *Tenant) recordOutcome(err error) {
+	if err == nil {
+		t.consecFaults.Store(0)
+		t.setLastErr(nil)
+		return
+	}
+	t.setLastErr(err)
+	t.faults.Add(1)
+	k := t.consecFaults.Add(1)
+	if limit := int64(t.srv.cfg.QuarantineThreshold); limit > 0 && k >= limit {
+		if t.state.CompareAndSwap(int32(TenantServing), int32(TenantQuarantined)) {
+			t.srv.mQuarantines.Inc()
+			t.srv.logf("tenant %s quarantined after %d consecutive faults (last: %v)", t.Config().Name, k, err)
+		}
+	}
+}
+
+// TenantStatus is the /tenants JSON row.
+type TenantStatus struct {
+	Name       string  `json:"name"`
+	Workload   string  `json:"workload"`
+	Policy     string  `json:"policy"`
+	State      string  `json:"state"`
+	HeapLimit  uint64  `json:"heap_limit"`
+	Resident   uint64  `json:"resident_bytes"`
+	NearlyFull float64 `json:"nearly_full_fraction"`
+	PruneState string  `json:"prune_state"`
+
+	Requests     uint64 `json:"requests"`
+	Faults       uint64 `json:"faults"`
+	ConsecFaults int64  `json:"consecutive_faults"`
+	Restarts     uint64 `json:"session_restarts"`
+	Cancelled    uint64 `json:"cancelled_requests"`
+
+	Collections uint64 `json:"collections"`
+	PrunedRefs  uint64 `json:"pruned_refs"`
+	PoisonTraps uint64 `json:"poison_traps"`
+	Cycles      int    `json:"live_hash_cycles"`
+	LastError   string `json:"last_error,omitempty"`
+}
+
+// status snapshots the tenant for /tenants and logs.
+func (t *Tenant) status() TenantStatus {
+	cfg := t.Config()
+	machine := t.currentVM()
+	st := TenantStatus{
+		Name:         cfg.Name,
+		Workload:     cfg.Workload,
+		Policy:       policyLabel(cfg.Policy),
+		State:        t.State().String(),
+		HeapLimit:    cfg.HeapLimit,
+		Requests:     t.requests.Load(),
+		Faults:       t.faults.Load(),
+		ConsecFaults: t.consecFaults.Load(),
+		Restarts:     t.restarts.Load(),
+		Cancelled:    t.cancelled.Load(),
+		LastError:    t.LastError(),
+	}
+	if machine != nil {
+		st.Resident = machine.HeapStats().BytesUsed
+		st.NearlyFull = machine.NearlyFullFraction()
+		st.PruneState = machine.State().String()
+		vs := machine.Stats()
+		st.Collections = vs.Collections
+		st.PrunedRefs = vs.PrunedRefs
+		st.PoisonTraps = vs.PoisonTraps
+	}
+	t.hashMu.Lock()
+	st.Cycles = len(t.hashes)
+	t.hashMu.Unlock()
+	return st
+}
+
+func policyLabel(name string) string {
+	switch name {
+	case "", "off", "base", "none":
+		return "off"
+	}
+	return name
+}

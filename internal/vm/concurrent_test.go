@@ -3,7 +3,6 @@ package vm
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"testing"
 
@@ -14,33 +13,9 @@ import (
 	"leakpruning/internal/vmerrors"
 )
 
-// liveSetHash fingerprints the entire live heap: every object's identity,
-// class, size, stale counter, and raw reference words (tags included). Two
-// runs whose per-cycle hashes agree have byte-identical live sets — the
-// strongest form of the mark-mode equivalence the concurrent path promises.
-// Called from OnGC, i.e. inside the cycle's final stop-the-world pause.
-func liveSetHash(h *heap.Heap) uint64 {
-	fn := fnv.New64a()
-	var buf [8]byte
-	word := func(x uint64) {
-		for i := range buf {
-			buf[i] = byte(x >> (8 * i))
-		}
-		fn.Write(buf[:])
-	}
-	h.ForEach(func(id heap.ObjectID, obj *heap.Object) {
-		word(uint64(id))
-		word(uint64(obj.Class()))
-		word(obj.Size())
-		word(uint64(obj.Stale()))
-		for slot, n := 0, obj.NumRefs(); slot < n; slot++ {
-			word(uint64(obj.Ref(slot)))
-		}
-	})
-	return fn.Sum64()
-}
-
 // markCycle is what one collection looked like to the equivalence check.
+// The per-cycle live-set fingerprint comes from liveSetHash (livehash.go),
+// called from OnGC, i.e. inside the cycle's final stop-the-world pause.
 type markCycle struct {
 	mode     string
 	live     uint64 // liveSetHash after the cycle

@@ -1,0 +1,45 @@
+package vm
+
+import (
+	"hash/fnv"
+
+	"leakpruning/internal/heap"
+)
+
+// liveSetHash fingerprints the entire live heap: every object's identity,
+// class, size, stale counter, and raw reference words (tags included). Two
+// runs whose per-cycle hashes agree have byte-identical live sets — the
+// strongest form of equivalence the mark-mode and multi-tenant isolation
+// proofs assert. Caller must hold the world stopped (or otherwise know no
+// mutator is running).
+func liveSetHash(h *heap.Heap) uint64 {
+	fn := fnv.New64a()
+	var buf [8]byte
+	word := func(x uint64) {
+		for i := range buf {
+			buf[i] = byte(x >> (8 * i))
+		}
+		fn.Write(buf[:])
+	}
+	h.ForEach(func(id heap.ObjectID, obj *heap.Object) {
+		word(uint64(id))
+		word(uint64(obj.Class()))
+		word(obj.Size())
+		word(uint64(obj.Stale()))
+		for slot, n := 0, obj.NumRefs(); slot < n; slot++ {
+			word(uint64(obj.Ref(slot)))
+		}
+	})
+	return fn.Sum64()
+}
+
+// LiveSetHash stops the world and returns the live-set fingerprint — the
+// quiescent-point form of the per-cycle hash Options.HashLiveSet delivers
+// in Event.LiveHash. Must not be called from inside a mutator critical
+// region, a finalizer, or a GC callback.
+func (v *VM) LiveSetHash() uint64 {
+	v.stopTheWorld()
+	defer v.startTheWorld()
+	v.flushTLABs()
+	return liveSetHash(v.heap)
+}

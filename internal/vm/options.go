@@ -180,6 +180,23 @@ type Options struct {
 	// Nil (the default) disables it; every instrumentation site then
 	// reduces to a single nil check with no allocation and no clock read.
 	Obs *obs.Obs
+
+	// HashLiveSet computes a live-set fingerprint (see LiveSetHash) inside
+	// every full collection's final stop-the-world pause and delivers it in
+	// Event.LiveHash. It is the cross-run equivalence probe multi-tenant
+	// isolation proofs key on: two tenants whose per-cycle hash sequences
+	// agree have byte-identical live heaps after every collection. Costs a
+	// full object-table walk per collection; off by default.
+	HashLiveSet bool
+}
+
+// ValidateOptions applies defaults and reports whether the options form a
+// valid configuration — the same check New performs before construction,
+// exposed so long-lived hosts (cmd/leakd's rolling per-tenant config
+// updates) can reject a bad config with a typed *OptionError instead of
+// recovering New's panic mid-swap.
+func ValidateOptions(o Options) error {
+	return o.withDefaults().validate()
 }
 
 // OptionError reports an invalid Options field combination. It is the typed

@@ -29,6 +29,9 @@ type Event struct {
 	// world-restart tail; time-to-stop latency is tracked separately
 	// (lp_safepoint_stop_ns).
 	Pauses []time.Duration
+	// LiveHash is the post-collection live-set fingerprint, computed inside
+	// the cycle's final pause when Options.HashLiveSet is set (0 otherwise).
+	LiveHash uint64
 }
 
 // Stats aggregates VM-level counters.
@@ -638,11 +641,33 @@ func (v *VM) finishCollect(res gc.Result, priorPauses []time.Duration, pauseStar
 	for _, p := range pauses {
 		v.obsPauseNs.Observe(uint64(p.Nanoseconds()))
 	}
+	var liveHash uint64
+	if v.opts.HashLiveSet {
+		liveHash = liveSetHash(v.heap)
+	}
 	if v.opts.OnGC != nil {
-		v.opts.OnGC(Event{Result: res, Heap: hs, State: v.ctrl.State(), Pauses: pauses})
+		v.opts.OnGC(Event{Result: res, Heap: hs, State: v.ctrl.State(), Pauses: pauses, LiveHash: liveHash})
 	}
 	return res
 }
+
+// SetNearlyFullFraction tightens (or relaxes) the pruning controller's
+// OBSERVE → SELECT threshold at runtime without restarting the VM — the
+// first rung of a multi-tenant host's budget-pressure degradation ladder:
+// lowering the threshold makes SELECT/PRUNE cycles engage at lower heap
+// fullness, trading prune aggressiveness for budget headroom. Returns a
+// typed *OptionError for values outside (0, 1).
+func (v *VM) SetNearlyFullFraction(f float64) error {
+	if !v.ctrl.SetNearlyFullFraction(f) {
+		return &OptionError{Option: "NearlyFullFraction",
+			Reason: fmt.Sprintf("must be in (0, 1), got %g", f)}
+	}
+	return nil
+}
+
+// NearlyFullFraction returns the controller's live OBSERVE → SELECT
+// threshold (the configured value unless SetNearlyFullFraction changed it).
+func (v *VM) NearlyFullFraction() float64 { return v.ctrl.NearlyFullFraction() }
 
 // logFullGC writes one verbose-GC line for a full-heap collection.
 func (v *VM) logFullGC(res gc.Result, offloaded uint64) {
