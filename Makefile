@@ -43,7 +43,7 @@ fuzz-smoke:
 bench-smoke:
 	$(GO) test -run='^$$' -bench='Benchmark(Mark|Sweep|Alloc)Parallel' -benchtime=1x .
 	$(GO) test -run='^$$' -bench='BenchmarkMutatorOps' -benchtime=1x ./internal/vm
-	$(GO) run ./cmd/pausebench -o /dev/null -iters 3000 -repeat 1
+	$(GO) run ./cmd/pausebench -o /dev/null -iters 3000 -repeat 1 -assert-speedup 5
 	$(GO) run ./cmd/overheadbench -elision -methods 4 -ops 120 -reps 2 -o /dev/null
 
 # Refresh the per-phase baseline JSON.
@@ -55,8 +55,10 @@ bench-phases:
 bench-mutator:
 	$(GO) run ./cmd/mutbench -o BENCH_mutator_ops.json
 
-# Refresh the GC-pause baseline JSON (ModeNormal pause statistics on the
-# list-leak workload, STW vs mostly-concurrent marking).
+# Refresh the GC-pause baseline JSON: per-cycle-mode (normal/SELECT/PRUNE)
+# pause statistics on the list-leak workload, STW vs mostly-concurrent
+# marking, with the pre-concurrent STW baseline embedded for the speedup
+# comparison.
 bench-pause:
 	$(GO) run ./cmd/pausebench -o BENCH_pause.json
 

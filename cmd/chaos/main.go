@@ -44,6 +44,12 @@ type scenario struct {
 	// completely: the run is required to match the control bit-for-bit in
 	// iterations and end reason.
 	equivalent bool
+	// hashCheck strengthens equivalence to per-cycle granularity: the run
+	// records a live-set hash plus SELECT/PRUNE decision counts inside
+	// every collection's final pause, and each cycle must match the
+	// fully-STW fault-free control cycle-for-cycle. Workers must be 1:
+	// stale-byte attribution is claim-order dependent across workers.
+	hashCheck bool
 }
 
 func scenarios() []scenario {
@@ -96,6 +102,24 @@ func scenarios() []scenario {
 		// run must still match the control bit-for-bit.
 		{name: "concurrent-remark-stall", workers: 2, markMode: "concurrent", equivalent: true,
 			arms: map[faultinject.Point]float64{faultinject.RemarkStall: 0.5}},
+		// Concurrent SELECT/PRUNE against the frozen staleness snapshot:
+		// every cycle mode runs mostly-concurrently, with the PRUNE
+		// final-remark stall fault armed on every draw (semantics-free
+		// delay). Per-cycle live-set hashes, candidate counts, and prune
+		// decisions must match the fully-STW control byte-for-byte.
+		{name: "concurrent-select", workers: 1, markMode: "concurrent",
+			equivalent: true, hashCheck: true,
+			arms: map[faultinject.Point]float64{faultinject.PruneRemarkStall: 1.0}},
+		// Unresolvable snapshot drift injected on every SELECT/PRUNE final
+		// remark (plus the stall): every such cycle must bump the epoch and
+		// degrade to the serial STW closure, reproducing the oracle's live
+		// sets and prune decisions exactly.
+		{name: "concurrent-prune-degrade", workers: 1, markMode: "concurrent",
+			equivalent: true, hashCheck: true,
+			arms: map[faultinject.Point]float64{
+				faultinject.SelectSnapshotDrift: 1.0,
+				faultinject.PruneRemarkStall:    1.0,
+			}},
 		{name: "everything", workers: 4, arms: all},
 	}
 }
@@ -126,6 +150,11 @@ type runRecord struct {
 	// Daemon (leakd-*) scenarios only.
 	Evictions   uint64 `json:"evictions,omitempty"`
 	Quarantines uint64 `json:"quarantines,omitempty"`
+
+	// HashCheckedCycles counts the collections whose live-set hashes and
+	// SELECT/PRUNE decisions were compared against the STW control
+	// (hash-check scenarios only).
+	HashCheckedCycles int `json:"hash_checked_cycles,omitempty"`
 
 	Escape              string `json:"escape,omitempty"`
 	EquivalenceMismatch string `json:"equivalence_mismatch,omitempty"`
@@ -174,19 +203,21 @@ func main() {
 	rep.Scenarios = append(rep.Scenarios, leakdScenarioNames()...)
 
 	start := time.Now()
-	// Fault-free control runs, one per (workload, workers) shape, are the
-	// equivalence oracle for the semantics-preserving scenarios.
+	// Fault-free control runs, one per (workload, workers[, hash]) shape,
+	// are the equivalence oracle for the semantics-preserving scenarios.
 	controls := map[string]harness.Result{}
 	for _, s := range scens {
 		if !s.equivalent {
 			continue
 		}
 		for _, w := range workloads {
-			key := fmt.Sprintf("%s/%d", w, s.workers)
+			key := controlKey(w, s)
 			if _, ok := controls[key]; ok {
 				continue
 			}
-			res, err := harness.Run(controlConfig(w, s.workers, *iters, *heapLimit))
+			cfg := controlConfig(w, s.workers, *iters, *heapLimit)
+			cfg.HashLiveSet = s.hashCheck
+			res, err := harness.Run(cfg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "chaos: control run %s failed: %v\n", key, err)
 				os.Exit(1)
@@ -285,6 +316,7 @@ func runOne(s scenario, workload string, seed uint64, iters int, heapLimit uint6
 	}
 	cfg.WorldLock = s.worldLock
 	cfg.MarkMode = s.markMode
+	cfg.HashLiveSet = s.hashCheck
 	if len(s.arms) > 0 {
 		inj := faultinject.New(seed)
 		for p, prob := range s.arms {
@@ -334,14 +366,49 @@ func runOne(s scenario, workload string, seed uint64, iters int, heapLimit uint6
 	}
 
 	if s.equivalent {
-		ctrl := controls[fmt.Sprintf("%s/%d", workload, s.workers)]
+		ctrl := controls[controlKey(workload, s)]
 		if res.Iterations != ctrl.Iterations || res.Reason != ctrl.Reason {
 			rec.EquivalenceMismatch = fmt.Sprintf(
 				"got %d iterations ending %s, control ran %d ending %s",
 				res.Iterations, res.Reason, ctrl.Iterations, ctrl.Reason)
 		}
+		if s.hashCheck && rec.EquivalenceMismatch == "" {
+			rec.HashCheckedCycles = len(res.GCSamples)
+			rec.EquivalenceMismatch = compareCycles(res.GCSamples, ctrl.GCSamples)
+		}
 	}
 	return rec
+}
+
+// controlKey names the control-run cell a scenario is compared against.
+// Hash-check scenarios get their own control: it carries the per-cycle
+// live-set hashes (HashLiveSet) the comparison keys on.
+func controlKey(workload string, s scenario) string {
+	key := fmt.Sprintf("%s/%d", workload, s.workers)
+	if s.hashCheck {
+		key += "/hash"
+	}
+	return key
+}
+
+// compareCycles checks a hash-check run's per-cycle record — mode,
+// post-cycle live-set hash, SELECT candidate count, PRUNE poison count —
+// against the STW control's, returning a mismatch description or "".
+func compareCycles(got, want []harness.GCSample) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("ran %d collections, control ran %d", len(got), len(want))
+	}
+	for i := range got {
+		g, c := got[i], want[i]
+		if g.Mode != c.Mode || g.LiveHash != c.LiveHash ||
+			g.Candidates != c.Candidates || g.Pruned != c.Pruned {
+			return fmt.Sprintf(
+				"cycle %d: got (%s live=%016x cands=%d pruned=%d), control (%s live=%016x cands=%d pruned=%d)",
+				i, g.Mode, g.LiveHash, g.Candidates, g.Pruned,
+				c.Mode, c.LiveHash, c.Candidates, c.Pruned)
+		}
+	}
+	return ""
 }
 
 func writeReport(path string, rep report) error {

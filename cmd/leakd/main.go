@@ -289,8 +289,30 @@ func runSoak(s *server.Server, base string, d time.Duration) int {
 		log.Printf("SOAK FAIL: /metrics scrape: %v", gerr)
 		return 1
 	}
-	log.Printf("leakd: soak ok — %d probes over %v, 0 over budget, max ladder level %d, %d evictions",
-		probes, d, maxLevel, evictions)
+	// The "pruned" tenant runs the default pruning policy, so a full soak
+	// must have driven normal, SELECT, and PRUNE cycles; /pressure's
+	// per-mode worst-case pauses are the operator's view of that.
+	pressure, gerr := get(base + "/pressure")
+	if gerr != nil {
+		log.Printf("SOAK FAIL: /pressure scrape: %v", gerr)
+		return 1
+	}
+	var pr struct {
+		MaxPauseByMode map[string]int64 `json:"max_pause_ns_by_mode"`
+	}
+	if jerr := json.Unmarshal([]byte(pressure), &pr); jerr != nil {
+		log.Printf("SOAK FAIL: /pressure decode: %v", jerr)
+		return 1
+	}
+	for _, mode := range []string{"normal", "select", "prune"} {
+		if pr.MaxPauseByMode[mode] <= 0 {
+			log.Printf("SOAK FAIL: /pressure max_pause_ns_by_mode[%q] = %d; every cycle mode must pause at least once",
+				mode, pr.MaxPauseByMode[mode])
+			return 1
+		}
+	}
+	log.Printf("leakd: soak ok — %d probes over %v, 0 over budget, max ladder level %d, %d evictions, per-mode pauses %v",
+		probes, d, maxLevel, evictions, pr.MaxPauseByMode)
 	return 0
 }
 

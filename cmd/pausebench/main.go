@@ -1,22 +1,34 @@
-// Command pausebench measures stop-the-world pause times for ModeNormal
-// collections under both mark modes and writes the results as JSON. It
-// seeds and refreshes BENCH_pause.json, the repo's perf-trajectory baseline
-// for GC pauses:
+// Command pausebench measures stop-the-world pause times per cycle mode
+// (normal / select / prune) under both mark modes and writes the results
+// as JSON. It seeds and refreshes BENCH_pause.json, the repo's
+// perf-trajectory baseline for GC pauses:
 //
 //	go run ./cmd/pausebench -o BENCH_pause.json
 //
-// The workload is the adversarial case for a fully-STW mark: a
-// list-leak program whose live closure grows without bound, so every STW
-// cycle pays an ever-longer in-use trace inside its single pause. Under
-// mostly-concurrent marking the trace and the sweep run while the mutator
-// executes, and only the root snapshot, the final remark, and the
-// promotion bookkeeping remain inside pauses.
+// The workload is the adversarial case for a fully-STW closure: a
+// list-leak program whose live closure grows toward the heap limit, with
+// the default pruning policy installed so the controller walks the
+// paper's INACTIVE → OBSERVE → SELECT → PRUNE state machine and the
+// pruned list regrows for the next round. Every cycle mode therefore
+// recurs across the run, and each one's pauses are reported separately:
+// a fully-STW cycle pays the whole closure in one pause, while under
+// mostly-concurrent marking only the root snapshot, the final remark
+// (which for SELECT/PRUNE also scores candidates and poisons references
+// over the already-complete closure), and promotion bookkeeping stay
+// inside pauses.
 //
-// The report embeds the pre-change STW baseline (measured before the
-// concurrent mark mode existed) so the JSON alone answers "what did taking
-// the closure off the pause buy": compare the baseline rows against the
-// matching mark=concurrent rows. Each measurement repeats -repeat times
-// and keeps the run with the smallest max pause (least scheduler noise).
+// The report embeds two pre-change STW baselines: the original
+// list-leak ModeNormal rows from before concurrent marking existed
+// (commit d9b307e), and prune-leak rows per cycle mode measured before
+// SELECT/PRUNE learned to run concurrently (commit c750445). The JSON
+// alone answers "what did taking each mode's closure off the pause buy":
+// compare baseline rows against the matching mark=concurrent rows. Each
+// measurement repeats -repeat times and keeps, per cycle mode, the run
+// with the smallest max pause (least scheduler noise).
+//
+// With -assert-speedup N the tool exits non-zero unless the concurrent
+// select and prune max-pause speedups vs the embedded baseline are both
+// at least N — the CI guard that the SELECT/PRUNE latency win holds.
 package main
 
 import (
@@ -27,46 +39,74 @@ import (
 	"runtime"
 	"sort"
 
+	"leakpruning/internal/core"
 	"leakpruning/internal/gc"
 	"leakpruning/internal/vm"
 )
 
+// cycleModes are the per-cycle-mode report rows, in gc.Mode order.
+var cycleModes = []gc.Mode{gc.ModeNormal, gc.ModeSelect, gc.ModePrune}
+
 // baselineRow is one pre-change measurement, kept verbatim in the report.
 type baselineRow struct {
-	Workload     string  `json:"workload"`
-	Iters        int     `json:"iters"`
-	NormalCycles int     `json:"normal_cycles"`
-	MaxPauseNs   int64   `json:"max_pause_ns"`
-	P99PauseNs   int64   `json:"p99_pause_ns"`
-	P50PauseNs   int64   `json:"p50_pause_ns"`
-	MeanPauseNs  float64 `json:"mean_pause_ns"`
+	Workload    string  `json:"workload"`
+	Mode        string  `json:"mode"`
+	Iters       int     `json:"iters"`
+	Cycles      int     `json:"cycles"`
+	MaxPauseNs  int64   `json:"max_pause_ns"`
+	P99PauseNs  int64   `json:"p99_pause_ns"`
+	P50PauseNs  int64   `json:"p50_pause_ns"`
+	MeanPauseNs float64 `json:"mean_pause_ns"`
 }
 
-// preSTWBaseline is the anchor the concurrent-marking work is judged
-// against: ModeNormal pause statistics for the list-leak workload measured
-// at commit d9b307e (single-pause fully-STW cycles: plan, in-use trace,
-// sweep, and promotion all under one stop) at GOMAXPROCS=1 on an Intel
-// Xeon @ 2.10GHz with the default -iters. Do not regenerate these with
-// current code — they exist precisely to pin what the pre-change collector
-// cost.
+// preSTWBaseline anchors the concurrent-marking work: fully-STW pause
+// statistics measured before the corresponding concurrent path existed,
+// at GOMAXPROCS=1 on an Intel Xeon @ 2.10GHz with the default -iters.
+// The list-leak row predates concurrent marking entirely (commit
+// d9b307e, no pruning policy installed); the prune-leak rows were
+// measured at commit c750445, when ModeNormal already marked
+// concurrently but SELECT and PRUNE still paid a full STW closure. Do
+// not regenerate these with current code — they exist precisely to pin
+// what the pre-change collector cost.
 var preSTWBaseline = []baselineRow{
-	{Workload: "list-leak", Iters: 12000, NormalCycles: 5,
+	{Workload: "list-leak", Mode: "normal", Iters: 12000, Cycles: 5,
 		MaxPauseNs: 3_327_053, P99PauseNs: 2_729_593, P50PauseNs: 2_377_136,
 		MeanPauseNs: 2_545_850},
+	{Workload: "prune-leak", Mode: "normal", Iters: 12000, Cycles: 172,
+		MaxPauseNs: 220_972, P99PauseNs: 200_807, P50PauseNs: 107_532,
+		MeanPauseNs: 115_092.8},
+	{Workload: "prune-leak", Mode: "select", Iters: 12000, Cycles: 6,
+		MaxPauseNs: 571_208, P99PauseNs: 462_904, P50PauseNs: 170_091,
+		MeanPauseNs: 288_146.8},
+	{Workload: "prune-leak", Mode: "prune", Iters: 12000, Cycles: 6,
+		MaxPauseNs: 446_767, P99PauseNs: 439_407, P50PauseNs: 358_843,
+		MeanPauseNs: 374_321},
+}
+
+// baselineFor returns the embedded pre-change row for a workload + cycle
+// mode, or nil when none is pinned.
+func baselineFor(workload, mode string) *baselineRow {
+	for i := range preSTWBaseline {
+		if preSTWBaseline[i].Workload == workload && preSTWBaseline[i].Mode == mode {
+			return &preSTWBaseline[i]
+		}
+	}
+	return nil
 }
 
 type resultRow struct {
-	Workload     string  `json:"workload"`
-	Mark         string  `json:"mark"`
-	Iters        int     `json:"iters"`
-	NormalCycles int     `json:"normal_cycles"`
-	MaxPauseNs   int64   `json:"max_pause_ns"`
-	P99PauseNs   int64   `json:"p99_pause_ns"`
-	P50PauseNs   int64   `json:"p50_pause_ns"`
-	MeanPauseNs  float64 `json:"mean_pause_ns"`
-	// TotalPauseNs is the sum of all ModeNormal pause time — concurrent mode
-	// trades one long pause for three short ones, and this shows the trade
-	// did not silently multiply the total stopped time.
+	Workload    string  `json:"workload"`
+	Mark        string  `json:"mark"`
+	Mode        string  `json:"mode"`
+	Iters       int     `json:"iters"`
+	Cycles      int     `json:"cycles"`
+	MaxPauseNs  int64   `json:"max_pause_ns"`
+	P99PauseNs  int64   `json:"p99_pause_ns"`
+	P50PauseNs  int64   `json:"p50_pause_ns"`
+	MeanPauseNs float64 `json:"mean_pause_ns"`
+	// TotalPauseNs is the sum of all pause time for this cycle mode —
+	// concurrent mode trades one long pause for three short ones, and this
+	// shows the trade did not silently multiply the total stopped time.
 	TotalPauseNs int64 `json:"total_pause_ns"`
 }
 
@@ -78,13 +118,14 @@ type report struct {
 	// Baseline holds the pre-change measurements (see preSTWBaseline).
 	Baseline []baselineRow `json:"baseline_pre_concurrent"`
 	Results  []resultRow   `json:"results"`
-	// MaxPauseSpeedup is baseline max pause / concurrent max pause for the
-	// list-leak workload — the headline number for this change.
-	MaxPauseSpeedup float64 `json:"max_pause_speedup_vs_baseline"`
+	// MaxPauseSpeedupByMode is, per cycle mode, the embedded prune-leak
+	// baseline's max pause divided by the concurrent run's — the headline
+	// numbers for taking each mode's closure off the pause.
+	MaxPauseSpeedupByMode map[string]float64 `json:"max_pause_speedup_by_mode"`
 }
 
-// pauseStats aggregates the per-pause durations of every ModeNormal cycle
-// in one run.
+// pauseStats aggregates the per-pause durations of every cycle of one
+// mode in one run.
 type pauseStats struct {
 	cycles int
 	pauses []int64 // individual pause durations, ns
@@ -125,22 +166,26 @@ func (s *pauseStats) mean() float64 {
 	return float64(s.total()) / float64(len(s.pauses))
 }
 
-// measure runs the list-leak workload under the given mark mode and
-// collects ModeNormal pause durations. The program leaks a linked list of
-// 2KB payloads, so the live closure — and with it a fully-STW mark pause —
-// grows linearly over the run. No pruning policy is installed: the bench
-// isolates ModeNormal cycles, the only mode the concurrent path changes.
-func measure(mode vm.MarkMode, iters int) pauseStats {
-	var st pauseStats
+// measure runs the prune-leak workload under the given mark mode and
+// collects pause durations grouped by cycle mode. The program leaks a
+// linked list of 2KB payloads toward a 4MB heap limit with the default
+// pruning policy installed, so the controller repeatedly runs OBSERVE,
+// SELECT (two closures: in-use then stale), and PRUNE (poisoning) cycles
+// as the list is pruned and regrows; the heap limit caps the live
+// closure, so per-mode pause costs are comparable across -iters values.
+func measure(mode vm.MarkMode, iters int) map[string]*pauseStats {
+	stats := make(map[string]*pauseStats)
+	for _, m := range cycleModes {
+		stats[m.String()] = &pauseStats{}
+	}
 	v := vm.New(vm.Options{
-		HeapLimit:      64 << 20,
+		HeapLimit:      4 << 20,
 		EnableBarriers: true,
 		GCWorkers:      1,
+		Policy:         core.DefaultPolicy{},
 		MarkMode:       mode,
 		OnGC: func(ev vm.Event) {
-			if ev.Result.Mode != gc.ModeNormal {
-				return
-			}
+			st := stats[ev.Result.Mode.String()]
 			st.cycles++
 			for _, p := range ev.Pauses {
 				st.pauses = append(st.pauses, p.Nanoseconds())
@@ -169,13 +214,15 @@ func measure(mode vm.MarkMode, iters int) pauseStats {
 	if err != nil {
 		panic(fmt.Sprintf("pausebench %v: %v", mode, err))
 	}
-	return st
+	return stats
 }
 
 func main() {
 	out := flag.String("o", "BENCH_pause.json", "output path ('-' for stdout)")
-	iters := flag.Int("iters", 12000, "list-leak iterations per measurement")
+	iters := flag.Int("iters", 12000, "prune-leak iterations per measurement")
 	repeat := flag.Int("repeat", 3, "repetitions per measurement (best kept)")
+	assert := flag.Float64("assert-speedup", 0,
+		"exit non-zero unless concurrent select and prune max-pause speedups vs baseline are >= this (0 disables)")
 	flag.Parse()
 	if *iters < 1 || *repeat < 1 {
 		fmt.Fprintln(os.Stderr, "pausebench: -iters and -repeat must be >= 1")
@@ -186,41 +233,54 @@ func main() {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Repeat:     *repeat,
-		BaselineNote: "baseline_pre_concurrent rows were measured before mostly-concurrent " +
-			"marking existed (commit d9b307e, single fully-STW pause per cycle); compare " +
-			"them against mark=concurrent rows on the same workload",
-		Baseline: preSTWBaseline,
+		BaselineNote: "baseline_pre_concurrent rows were measured fully-STW before the " +
+			"corresponding concurrent path existed (list-leak normal: commit d9b307e, " +
+			"pre concurrent marking; prune-leak rows: commit c750445, pre concurrent " +
+			"SELECT/PRUNE); compare them against mark=concurrent rows on the same " +
+			"workload and cycle mode",
+		Baseline:              preSTWBaseline,
+		MaxPauseSpeedupByMode: make(map[string]float64),
 	}
-	var concurrentMax int64
 	for _, mode := range []vm.MarkMode{vm.MarkSTW, vm.MarkConcurrent} {
-		var best pauseStats
+		// Per cycle mode, keep the repeat with the smallest max pause.
+		best := make(map[string]*pauseStats)
 		for r := 0; r < *repeat; r++ {
-			st := measure(mode, *iters)
-			if best.cycles == 0 || st.max() < best.max() {
-				best = st
+			for cm, st := range measure(mode, *iters) {
+				if cur, ok := best[cm]; !ok || cur.cycles == 0 ||
+					(st.cycles > 0 && st.max() < cur.max()) {
+					best[cm] = st
+				}
 			}
 		}
-		fmt.Fprintf(os.Stderr,
-			"pausebench: list-leak mark=%s: %d normal cycles, max pause %.2fms, p50 %.2fms, total stopped %.2fms\n",
-			mode, best.cycles, float64(best.max())/1e6, float64(best.percentile(0.5))/1e6,
-			float64(best.total())/1e6)
-		rep.Results = append(rep.Results, resultRow{
-			Workload: "list-leak", Mark: mode.String(), Iters: *iters,
-			NormalCycles: best.cycles,
-			MaxPauseNs:   best.max(),
-			P99PauseNs:   best.percentile(0.99),
-			P50PauseNs:   best.percentile(0.5),
-			MeanPauseNs:  best.mean(),
-			TotalPauseNs: best.total(),
-		})
-		if mode == vm.MarkConcurrent {
-			concurrentMax = best.max()
+		for _, cm := range cycleModes {
+			st := best[cm.String()]
+			fmt.Fprintf(os.Stderr,
+				"pausebench: prune-leak mark=%s mode=%s: %d cycles, max pause %.1fus, p50 %.1fus, total stopped %.1fus\n",
+				mode, cm, st.cycles, float64(st.max())/1e3, float64(st.percentile(0.5))/1e3,
+				float64(st.total())/1e3)
+			rep.Results = append(rep.Results, resultRow{
+				Workload: "prune-leak", Mark: mode.String(), Mode: cm.String(),
+				Iters:        *iters,
+				Cycles:       st.cycles,
+				MaxPauseNs:   st.max(),
+				P99PauseNs:   st.percentile(0.99),
+				P50PauseNs:   st.percentile(0.5),
+				MeanPauseNs:  st.mean(),
+				TotalPauseNs: st.total(),
+			})
+			if mode == vm.MarkConcurrent && st.max() > 0 {
+				if base := baselineFor("prune-leak", cm.String()); base != nil && base.MaxPauseNs > 0 {
+					rep.MaxPauseSpeedupByMode[cm.String()] =
+						float64(base.MaxPauseNs) / float64(st.max())
+				}
+			}
 		}
 	}
-	if concurrentMax > 0 {
-		rep.MaxPauseSpeedup = float64(preSTWBaseline[0].MaxPauseNs) / float64(concurrentMax)
-		fmt.Fprintf(os.Stderr, "pausebench: max-pause speedup vs pre-change baseline: %.1fx\n",
-			rep.MaxPauseSpeedup)
+	for _, cm := range cycleModes {
+		if s, ok := rep.MaxPauseSpeedupByMode[cm.String()]; ok {
+			fmt.Fprintf(os.Stderr, "pausebench: mode=%s max-pause speedup vs pre-change baseline: %.1fx\n",
+				cm, s)
+		}
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -230,11 +290,27 @@ func main() {
 	data = append(data, '\n')
 	if *out == "-" {
 		os.Stdout.Write(data)
-		return
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pausebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pausebench: wrote %s\n", *out)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "pausebench: %v\n", err)
-		os.Exit(1)
+
+	if *assert > 0 {
+		ok := true
+		for _, cm := range []gc.Mode{gc.ModeSelect, gc.ModePrune} {
+			s, have := rep.MaxPauseSpeedupByMode[cm.String()]
+			if !have || s < *assert {
+				fmt.Fprintf(os.Stderr,
+					"pausebench: ASSERT FAILED: mode=%s max-pause speedup %.2fx < required %.2fx\n",
+					cm, s, *assert)
+				ok = false
+			}
+		}
+		if !ok {
+			os.Exit(1)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "pausebench: wrote %s\n", *out)
 }

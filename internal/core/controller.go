@@ -91,6 +91,14 @@ type Controller struct {
 
 	cycle Cycle // live only during a SELECT-mode collection
 
+	// snap is the staleness-snapshot cell shared with every Env this
+	// controller hands out. PlanCycle freezes the edge table into it inside
+	// the first pause of SELECT and PRUNE cycles (and unpins it otherwise),
+	// so policy predicates running concurrently with mutators observe one
+	// consistent maxStaleUse cut. The degrade path re-runs the same plan,
+	// hence the same cut — part of the byte-identical STW oracle contract.
+	snap StaleSnapshot
+
 	// nearlyFull is the live OBSERVE → SELECT threshold, stored as
 	// math.Float64bits so a daemon's budget-pressure controller can tighten
 	// it between collections without racing FinishCycle (which reads it
@@ -170,6 +178,8 @@ func (c *Controller) TotalPrunedRefs() uint64 { return c.totalPruned }
 // PlanCycle builds the gc.Plan for the next collection according to the
 // current state.
 func (c *Controller) PlanCycle() gc.Plan {
+	// Unpin any previous cycle's staleness cut; SELECT/PRUNE re-pin below.
+	c.snap.Pin(nil)
 	if !c.Enabled() && !c.opts.Forced {
 		return gc.Plan{Mode: gc.ModeNormal}
 	}
@@ -182,20 +192,23 @@ func (c *Controller) PlanCycle() gc.Plan {
 		plan := gc.Plan{Mode: gc.ModeSelect, TagRefs: true, AgeStaleness: true}
 		if c.opts.Policy != nil {
 			c.cycle = c.opts.Policy.Begin(c.env())
-			plan.Candidate = c.cycle.Candidate
-			plan.StaleEdge = c.cycle.StaleEdge
-			plan.AccountStaleBytes = c.cycle.AccountStaleBytes
 		} else {
 			// Forced SELECT without a policy measures the default
 			// algorithm's SELECT-state costs without pruning (Figure 7).
 			c.cycle = DefaultPolicy{}.Begin(c.env())
-			plan.Candidate = c.cycle.Candidate
-			plan.StaleEdge = c.cycle.StaleEdge
-			plan.AccountStaleBytes = c.cycle.AccountStaleBytes
 		}
+		// Freeze after Begin so policies that mutate the table on cycle
+		// start (DecayPolicy) have their effect inside the frozen cut.
+		c.snap.Pin(c.edges.Freeze())
+		plan.Candidate = c.cycle.Candidate
+		plan.StaleEdge = c.cycle.StaleEdge
+		plan.AccountStaleBytes = c.cycle.AccountStaleBytes
 		return plan
 	case StatePrune:
 		plan := gc.Plan{Mode: gc.ModePrune, TagRefs: true, AgeStaleness: true}
+		// Re-freeze at prune time: a use observed between SELECT and PRUNE
+		// raises the bar (§4.3) and must be visible to ShouldPrune.
+		c.snap.Pin(c.edges.Freeze())
 		sel := c.selection
 		plan.ShouldPrune = sel.ShouldPrune
 		plan.OnPrune = func(_ heap.ObjectID, _ int, src, tgt heap.ClassID) {
@@ -207,8 +220,12 @@ func (c *Controller) PlanCycle() gc.Plan {
 }
 
 func (c *Controller) env() Env {
-	return Env{Edges: c.edges, Classes: c.classes, LastMaxStale: c.lastMaxStale}
+	return Env{Edges: c.edges, Classes: c.classes, LastMaxStale: c.lastMaxStale, Snap: &c.snap}
 }
+
+// FrozenSnapshot returns the staleness cut pinned for the current cycle,
+// or nil outside SELECT/PRUNE cycles (diagnostics and tests).
+func (c *Controller) FrozenSnapshot() *edgetable.Frozen { return c.snap.Pinned() }
 
 // FinishCycle consumes the collection result and the post-collection heap
 // statistics, performing the state transition of Figure 2.

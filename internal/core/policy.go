@@ -15,7 +15,42 @@ type Env struct {
 	// LastMaxStale is the highest stale counter among live objects observed
 	// by the most recent collection (after aging).
 	LastMaxStale uint8
+	// Snap, when non-nil, is the controller-owned staleness-snapshot cell.
+	// The controller freezes the edge table into it inside the first pause
+	// of every SELECT and PRUNE cycle, so policy predicates evaluated while
+	// mutators run (the concurrent mark modes) observe one consistent cut
+	// of maxStaleUse instead of racing the read barrier's live updates.
+	// Policies read through Env.MaxStaleUseFor to get this automatically.
+	Snap *StaleSnapshot
 }
+
+// MaxStaleUseFor returns the edge type's maxStaleUse as of the current
+// cycle's staleness cut: the frozen snapshot when one is pinned, the live
+// table otherwise (Envs built without a controller, e.g. in tests).
+func (e Env) MaxStaleUseFor(src, tgt heap.ClassID) uint8 {
+	if e.Snap != nil {
+		if f := e.Snap.frozen; f != nil {
+			return f.MaxStaleUseFor(src, tgt)
+		}
+	}
+	return e.Edges.MaxStaleUseFor(src, tgt)
+}
+
+// StaleSnapshot is the mutable cell through which a controller pins the
+// edge table's staleness cut for the duration of one SELECT or PRUNE
+// cycle. It is written only inside stop-the-world pauses (PlanCycle) and
+// read by policy predicates during the cycle, so no atomics are needed:
+// the world restart orders the write before every concurrent read.
+type StaleSnapshot struct {
+	frozen *edgetable.Frozen
+}
+
+// Pin replaces the snapshot's frozen cut (nil unpins, restoring live
+// reads). Call only while the world is stopped.
+func (s *StaleSnapshot) Pin(f *edgetable.Frozen) { s.frozen = f }
+
+// Pinned returns the currently pinned cut, or nil.
+func (s *StaleSnapshot) Pinned() *edgetable.Frozen { return s.frozen }
 
 // Policy is a prediction algorithm for choosing references to prune. The
 // paper's default algorithm and the two simpler baselines of §6.1 implement
@@ -82,7 +117,7 @@ type defaultCycle struct {
 }
 
 func (c *defaultCycle) Candidate(src, tgt heap.ClassID, stale uint8) bool {
-	return stale >= c.env.Edges.MaxStaleUseFor(src, tgt)+staleGuard
+	return stale >= c.env.MaxStaleUseFor(src, tgt)+staleGuard
 }
 
 func (c *defaultCycle) StaleEdge(src, tgt heap.ClassID, stale uint8, tgtBytes uint64) {}
@@ -109,9 +144,10 @@ func (c *defaultCycle) Finish(res gc.Result) (Selection, bool) {
 
 // EdgeSelection prunes references of one (source class → target class) edge
 // type whose targets are sufficiently stale. The staleness threshold reads
-// the edge table's current maxStaleUse at prune time, as the paper's PRUNE
-// state does (§4.3), so a use observed between SELECT and PRUNE raises the
-// bar.
+// the edge type's maxStaleUse as of the PRUNE cycle's staleness cut (the
+// controller re-freezes the table inside that cycle's first pause), as the
+// paper's PRUNE state does (§4.3), so a use observed between SELECT and
+// PRUNE raises the bar.
 type EdgeSelection struct {
 	Src, Tgt heap.ClassID
 	Bytes    uint64
@@ -123,7 +159,7 @@ func (s *EdgeSelection) ShouldPrune(src, tgt heap.ClassID, stale uint8) bool {
 	if src != s.Src || tgt != s.Tgt {
 		return false
 	}
-	return stale >= s.env.Edges.MaxStaleUseFor(src, tgt)+staleGuard
+	return stale >= s.env.MaxStaleUseFor(src, tgt)+staleGuard
 }
 
 // String renders the edge type like the paper's reports, e.g.
@@ -202,7 +238,7 @@ type indivRefsCycle struct {
 func (c *indivRefsCycle) Candidate(src, tgt heap.ClassID, stale uint8) bool { return false }
 
 func (c *indivRefsCycle) StaleEdge(src, tgt heap.ClassID, stale uint8, tgtBytes uint64) {
-	if stale >= c.env.Edges.MaxStaleUseFor(src, tgt)+staleGuard {
+	if stale >= c.env.MaxStaleUseFor(src, tgt)+staleGuard {
 		c.env.Edges.AddBytesUsed(src, tgt, tgtBytes)
 	}
 }

@@ -273,6 +273,41 @@ func (t *Table) ForEach(fn func(*Entry)) {
 	}
 }
 
+// Frozen is an immutable staleness snapshot of the table: every occupied
+// entry's maxStaleUse as of the freeze point. A concurrent SELECT/PRUNE
+// cycle freezes the table inside its first pause so the candidate
+// predicate and the prune predicate both evaluate one consistent cut of
+// the edge table, even while mutator read barriers keep raising live
+// maxStaleUse values underneath the concurrent closure. Edge types
+// absent at the freeze (including updates that overflowed to the inert
+// scratch entry, which lookup never surfaces) report 0, exactly as the
+// live table's MaxStaleUseFor would have at that instant.
+type Frozen struct {
+	msu map[Key]uint8
+}
+
+// Freeze captures the current maxStaleUse of every occupied entry.
+// Callers provide the "one consistent cut" guarantee by freezing inside
+// a stop-the-world pause; Freeze itself only promises a coherent
+// per-entry read (entries are atomics) and an immutable result.
+func (t *Table) Freeze() *Frozen {
+	f := &Frozen{msu: make(map[Key]uint8, t.Len())}
+	t.ForEach(func(e *Entry) {
+		f.msu[e.key] = e.MaxStaleUse()
+	})
+	return f
+}
+
+// MaxStaleUseFor returns the frozen maxStaleUse for the edge type, or 0
+// when the edge type was not in the table at the freeze point — the same
+// conservative default as the live table's MaxStaleUseFor.
+func (f *Frozen) MaxStaleUseFor(src, tgt heap.ClassID) uint8 {
+	return f.msu[Key{src, tgt}]
+}
+
+// Len returns the number of edge types captured by the freeze.
+func (f *Frozen) Len() int { return len(f.msu) }
+
 // Snapshot describes one entry for reporting, with class names resolved.
 type Snapshot struct {
 	Src, Tgt    string

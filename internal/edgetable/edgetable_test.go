@@ -233,6 +233,97 @@ func TestBytesUsedSumQuick(t *testing.T) {
 	}
 }
 
+// TestFreezeMatchesSTWCut is the snapshot-equivalence property the
+// concurrent SELECT/PRUNE path depends on: for an arbitrary use history,
+// the frozen snapshot answers MaxStaleUseFor exactly as an STW cycle
+// reading the live table at the freeze point would, over the whole key
+// universe (including keys never observed, which both report 0).
+func TestFreezeMatchesSTWCut(t *testing.T) {
+	prop := func(uses []uint32) bool {
+		tbl := New(16)
+		for _, u := range uses {
+			src := heap.ClassID(u&3) + 1
+			tgt := heap.ClassID((u>>2)&3) + 1
+			tbl.RecordUse(src, tgt, uint8((u>>4)%8))
+		}
+		f := tbl.Freeze()
+		if f.Len() != tbl.Len() {
+			return false
+		}
+		for s := heap.ClassID(1); s <= 4; s++ {
+			for g := heap.ClassID(1); g <= 4; g++ {
+				if f.MaxStaleUseFor(s, g) != tbl.MaxStaleUseFor(s, g) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFreezeImmutableUnderTraffic: the frozen cut keeps its freeze-point
+// values while use/decay/reset traffic moves the live table — the
+// property that lets a concurrent cycle's candidate and prune predicates
+// see one consistent staleness cut while mutator read barriers keep
+// raising live maxStaleUse.
+func TestFreezeImmutableUnderTraffic(t *testing.T) {
+	tbl := New(64)
+	tbl.RecordUse(1, 2, 5)
+	tbl.RecordUse(3, 4, 2)
+	f := tbl.Freeze()
+	tbl.RecordUse(1, 2, 7) // live raised past the cut
+	tbl.DecayMaxStaleUse() // live lowered below the cut
+	tbl.ResetBytesUsed()   // unrelated state clears must not leak in
+	tbl.RecordUse(2, 2, 6) // new edge type after the cut
+	if got := f.MaxStaleUseFor(1, 2); got != 5 {
+		t.Fatalf("frozen (1,2) = %d after live traffic, want 5", got)
+	}
+	if got := f.MaxStaleUseFor(3, 4); got != 2 {
+		t.Fatalf("frozen (3,4) = %d after live decay, want 2", got)
+	}
+	if got := f.MaxStaleUseFor(2, 2); got != 0 {
+		t.Fatalf("frozen sees post-freeze edge type: %d, want 0", got)
+	}
+	if f.Len() != 2 {
+		t.Fatalf("Frozen.Len = %d, want 2", f.Len())
+	}
+	if got := tbl.MaxStaleUseFor(1, 2); got != 6 {
+		t.Fatalf("live (1,2) = %d, want 6 (raised to 7 then decayed)", got)
+	}
+}
+
+// TestFreezeOverflowToScratch: updates that overflowed to the inert
+// scratch entry are invisible to lookup, so the frozen cut must report 0
+// for them — identical to what an STW cycle reading the live table sees.
+func TestFreezeOverflowToScratch(t *testing.T) {
+	tbl := New(4)
+	for i := 0; i < 4; i++ {
+		tbl.RecordUse(heap.ClassID(i+1), heap.ClassID(i+1), uint8(2+i))
+	}
+	// Table full: this use lands on scratch.
+	tbl.RecordUse(9, 9, 7)
+	if tbl.Overflows() == 0 {
+		t.Fatal("overflow path not reached")
+	}
+	f := tbl.Freeze()
+	if f.Len() != tbl.Len() {
+		t.Fatalf("Frozen.Len = %d, live Len = %d", f.Len(), tbl.Len())
+	}
+	if got, live := f.MaxStaleUseFor(9, 9), tbl.MaxStaleUseFor(9, 9); got != 0 || live != 0 {
+		t.Fatalf("overflowed edge type: frozen=%d live=%d, want 0/0", got, live)
+	}
+	for i := 0; i < 4; i++ {
+		c := heap.ClassID(i + 1)
+		if f.MaxStaleUseFor(c, c) != tbl.MaxStaleUseFor(c, c) {
+			t.Fatalf("resident edge (%d,%d): frozen %d != live %d",
+				c, c, f.MaxStaleUseFor(c, c), tbl.MaxStaleUseFor(c, c))
+		}
+	}
+}
+
 func TestDecayMaxStaleUse(t *testing.T) {
 	tbl := New(64)
 	tbl.RecordUse(1, 2, 5)

@@ -11,9 +11,11 @@ import (
 // a shadow map. The properties under test are the table's degradation
 // contract: no operation may panic, Len always equals the number of distinct
 // inserted keys, a full table routes new keys to the inert scratch entry and
-// advances Overflows instead of evicting or corrupting an occupied slot, and
+// advances Overflows instead of evicting or corrupting an occupied slot,
 // per-entry maxStaleUse/bytesUsed arithmetic (including decay and reset)
-// matches a straightforward model.
+// matches a straightforward model, and a Freeze taken at any point stays
+// pinned at its freeze-point values no matter what decay/reset/use traffic
+// crosses the freeze boundary afterwards.
 func FuzzEdgeTable(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 1, 2, 0})
@@ -35,6 +37,18 @@ func FuzzEdgeTable(f *testing.F) {
 		6, 0, 0, 0, // DecayMaxStaleUse
 		7, 0, 0, 0, // ResetBytesUsed
 	})
+	// Decay and reset crossing a freeze boundary: the frozen cut must keep
+	// the pre-decay values while the live table moves on.
+	f.Add([]byte{
+		3, 0, 1, 5, // RecordUse(1,2) stale=5
+		3, 1, 2, 4, // RecordUse(2,3) stale=4
+		8, 0, 0, 0, // Freeze
+		6, 0, 0, 0, // DecayMaxStaleUse (live 5→4, frozen stays 5)
+		7, 0, 0, 0, // ResetBytesUsed
+		3, 0, 1, 7, // RecordUse(1,2) stale=7 (live raised, frozen stays 5)
+		8, 0, 0, 0, // Freeze again (captures the post-decay cut)
+		6, 0, 0, 0, // DecayMaxStaleUse
+	})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tab := New(8)
 		type model struct {
@@ -43,6 +57,8 @@ func FuzzEdgeTable(f *testing.F) {
 		}
 		shadow := map[Key]*model{}
 		wantOverflows := uint64(0)
+		var frozen *Frozen
+		var shadowFrozen map[Key]uint8
 		// insert applies GetOrInsert's model semantics: existing keys hit,
 		// new keys occupy a slot while there is room, and a full table drops
 		// the insertion (nil = the update landed on scratch).
@@ -59,7 +75,7 @@ func FuzzEdgeTable(f *testing.F) {
 			return m
 		}
 		for i := 0; i+3 < len(data); i += 4 {
-			op := data[i] % 8
+			op := data[i] % 9
 			// Class IDs 1..4: 16 key combinations against 8 slots, and no
 			// collision with the scratch entry's zero key.
 			src := heap.ClassID(data[i+1]&3) + 1
@@ -111,12 +127,27 @@ func FuzzEdgeTable(f *testing.F) {
 				for _, m := range shadow {
 					m.bytes = 0
 				}
+			case 8:
+				frozen = tab.Freeze()
+				shadowFrozen = make(map[Key]uint8, len(shadow))
+				for fk, m := range shadow {
+					shadowFrozen[fk] = m.msu
+				}
+				if frozen.Len() != len(shadowFrozen) {
+					t.Fatalf("op %d: Frozen.Len = %d, shadow has %d keys", i, frozen.Len(), len(shadowFrozen))
+				}
 			}
 			if tab.Len() != len(shadow) {
 				t.Fatalf("op %d: Len = %d, shadow has %d keys", i, tab.Len(), len(shadow))
 			}
 			if tab.Overflows() != wantOverflows {
 				t.Fatalf("op %d: Overflows = %d, want %d", i, tab.Overflows(), wantOverflows)
+			}
+			// A frozen cut never moves, whatever ops cross the freeze boundary.
+			if frozen != nil {
+				if got, want := frozen.MaxStaleUseFor(src, tgt), shadowFrozen[k]; got != want {
+					t.Fatalf("op %d: frozen maxStaleUse(%v) = %d, freeze-point model %d", i, k, got, want)
+				}
 			}
 		}
 		for k, m := range shadow {
@@ -129,6 +160,15 @@ func FuzzEdgeTable(f *testing.F) {
 			}
 			if e.BytesUsed() != m.bytes {
 				t.Fatalf("key %v: bytesUsed = %d, model %d", k, e.BytesUsed(), m.bytes)
+			}
+		}
+		if frozen != nil {
+			for s := heap.ClassID(1); s <= 4; s++ {
+				for g := heap.ClassID(1); g <= 4; g++ {
+					if got, want := frozen.MaxStaleUseFor(s, g), shadowFrozen[Key{s, g}]; got != want {
+						t.Fatalf("frozen maxStaleUse(%d,%d) = %d at end, freeze-point model %d", s, g, got, want)
+					}
+				}
 			}
 		}
 		var wantMax uint64

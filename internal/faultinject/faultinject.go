@@ -92,6 +92,17 @@ const (
 	// requests failed to drain before the deadline, forcing the
 	// abandon-and-collect path instead of the graceful one.
 	EvictDrainTimeout
+	// SelectSnapshotDrift makes one concurrent SELECT/PRUNE remark behave as
+	// if the frozen edge-table staleness snapshot had drifted beyond what
+	// per-edge demotion can absorb (as if a coherence checksum over the
+	// frozen cut failed). The cycle must degrade to a fresh fully-STW
+	// closure that reproduces the STW oracle byte-for-byte.
+	SelectSnapshotDrift
+	// PruneRemarkStall stretches the final-remark pause of a concurrent
+	// PRUNE cycle — the pause that poisons references over the completed
+	// closure — with a semantics-free delay. Runs with it armed must match
+	// fault-free controls on every observable.
+	PruneRemarkStall
 
 	// NumPoints is the number of injection points (must stay last).
 	// New points are appended, never inserted: the decision hash is keyed
@@ -115,6 +126,8 @@ var pointNames = [NumPoints]string{
 	TenantRequestPanic:      "tenant-request-panic",
 	BudgetProbeStall:        "budget-probe-stall",
 	EvictDrainTimeout:       "evict-drain-timeout",
+	SelectSnapshotDrift:     "select-snapshot-drift",
+	PruneRemarkStall:        "prune-remark-stall",
 }
 
 // String returns the point's campaign-report name.

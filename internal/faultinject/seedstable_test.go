@@ -3,13 +3,15 @@ package faultinject
 import "testing"
 
 // TestSeedStability pins the injector's deterministic draw sequence for
-// every point that predates the daemon-level additions (TenantRequestPanic,
-// BudgetProbeStall, EvictDrainTimeout). The decision hash is keyed by the
-// point's index, so APPENDING points is draw-sequence-preserving but
+// every point that predates the concurrent-SELECT/PRUNE additions
+// (SelectSnapshotDrift, PruneRemarkStall). The decision hash is keyed by
+// the point's index, so APPENDING points is draw-sequence-preserving but
 // INSERTING one would silently re-seed every later point — invalidating
 // every recorded chaos campaign and golden equivalence run. Each golden
 // mask below is bit n-1 = "draw n fires" for seed 0xC0FFEE at probability
-// 0.5 over the first 64 draws, recorded before the daemon points landed.
+// 0.5 over the first 64 draws, recorded before the next batch of points
+// landed (the daemon-point masks were pinned when SelectSnapshotDrift and
+// PruneRemarkStall were appended).
 func TestSeedStability(t *testing.T) {
 	golden := []struct {
 		point Point
@@ -26,16 +28,19 @@ func TestSeedStability(t *testing.T) {
 		{SafepointStall, 0x729f794b396aaf8e},
 		{SATBBarrierDrop, 0x490db11ccc8ab34f},
 		{RemarkStall, 0x6adf05f0975a30c4},
+		{TenantRequestPanic, 0x7f7caaca8341a0f2},
+		{BudgetProbeStall, 0x689963cd9156cdbb},
+		{EvictDrainTimeout, 0xb6a60a8a13fa4bab},
 	}
-	// The pre-daemon points must keep their indices (the hash key).
+	// The pre-existing points must keep their indices (the hash key).
 	for i, g := range golden {
 		if int(g.point) != i {
 			t.Fatalf("point %v moved to index %d (want %d): inserting points re-seeds later draw sequences", g.point, g.point, i)
 		}
 	}
-	if NumPoints != Point(len(golden))+3 {
-		t.Fatalf("NumPoints = %d, want %d (3 daemon points appended after the %d golden ones)",
-			NumPoints, len(golden)+3, len(golden))
+	if NumPoints != Point(len(golden))+2 {
+		t.Fatalf("NumPoints = %d, want %d (2 concurrent-SELECT/PRUNE points appended after the %d golden ones)",
+			NumPoints, len(golden)+2, len(golden))
 	}
 	for _, g := range golden {
 		inj := New(0xC0FFEE)
@@ -52,10 +57,11 @@ func TestSeedStability(t *testing.T) {
 	}
 }
 
-// TestDaemonPointNames covers the appended daemon-level points' name round
-// trip alongside the existing ones.
+// TestDaemonPointNames covers the appended points' name round trip
+// alongside the existing ones.
 func TestDaemonPointNames(t *testing.T) {
-	for _, p := range []Point{TenantRequestPanic, BudgetProbeStall, EvictDrainTimeout} {
+	for _, p := range []Point{TenantRequestPanic, BudgetProbeStall, EvictDrainTimeout,
+		SelectSnapshotDrift, PruneRemarkStall} {
 		name := p.String()
 		got, ok := PointByName(name)
 		if !ok || got != p {

@@ -141,6 +141,16 @@ type Result struct {
 	// instead of inside one stop-the-world section.
 	Concurrent bool
 
+	// SnapshotDrift counts candidate edges (SELECT) or deferred prune
+	// records (PRUNE) that a concurrent cycle's final remark demoted
+	// because a mutator invalidated the frozen staleness snapshot for that
+	// edge in the window: the slot's value changed (use untagged it, or a
+	// store replaced it) or the target's stale counter dropped below the
+	// frozen threshold. Demotion is per-edge — the cycle completes without
+	// degrading. Always 0 for STW cycles and for deterministic
+	// single-threaded runs (no mutator runs during the concurrent phase).
+	SnapshotDrift int
+
 	// Degraded reports that the parallel closure was abandoned (worker
 	// panic or watchdog deadline) and the collection completed via the
 	// serial fallback tracer. The live set is identical to a fault-free
@@ -401,7 +411,8 @@ func (c *Collector) Collect(plan Plan) Result {
 	// Phase 2 (SELECT only): the stale closure from the candidate queue.
 	if plan.Mode == ModeSelect && len(tr.candidates) > 0 {
 		staleStart := time.Now()
-		res.StaleBytes = tr.staleClosure()
+		tr.staleClosure()
+		res.StaleBytes = tr.accountStale()
 		res.StaleDuration = time.Since(staleStart)
 	}
 	res.Candidates = len(tr.candidates)

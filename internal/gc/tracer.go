@@ -12,10 +12,31 @@ import (
 
 // candidate records one reference deferred by the in-use closure: the edge
 // type and the (untagged) target reference that roots a stale data
-// structure (§4.2).
+// structure (§4.2), plus the slot it was found in and the exact reference
+// value the slot is expected to hold — a concurrent cycle's final remark
+// re-checks the slot against expect to detect mutator writes that
+// invalidated the frozen candidate edge (drift demotion).
 type candidate struct {
 	src, tgt heap.ClassID
 	ref      heap.Ref
+	srcID    heap.ObjectID
+	slot     int
+	expect   heap.Ref
+}
+
+// pruneRec is one poisoning decision a concurrent ModePrune closure
+// deferred to the final remark: poisoning under running mutators would be
+// unsound (the decision could race a use that should have raised the
+// bar), so the scan records the slot and the observed reference value and
+// the remark pause re-verifies before poisoning. The deferred slot is
+// left stale-tagged, so any mutator load in the window goes through the
+// read barrier's cold path and changes the slot value — which the
+// verification detects as drift and demotes instead of poisoning.
+type pruneRec struct {
+	srcID    heap.ObjectID
+	slot     int
+	src, tgt heap.ClassID
+	expect   heap.Ref
 }
 
 // staleEdge is one buffered StaleEdge observation: workers record these
@@ -60,11 +81,19 @@ type tracer struct {
 	plan  Plan
 
 	// concurrent marks a closure that runs while mutators are live (the
-	// mostly-concurrent ModeNormal cycle). It changes one thing: barrier
+	// mostly-concurrent cycles). It changes one thing: barrier
 	// tagging must CAS instead of blind-store, because a plain SetRef could
 	// overwrite a reference a mutator stored after the tracer loaded the
 	// slot, silently resurrecting the old value.
 	concurrent bool
+
+	// deferOps marks the concurrent phase of a SELECT or PRUNE cycle:
+	// ModePrune scans record pruneRecs instead of poisoning, because the
+	// poison/keep decision must be verified against the frozen staleness
+	// snapshot inside the final remark pause. The driver clears it before
+	// the remark re-scan, restoring direct (STW-semantics) poisoning for
+	// references discovered with the world stopped.
+	deferOps bool
 
 	workers []*traceWorker
 	// idle counts workers that found no work anywhere. When it reaches
@@ -90,6 +119,14 @@ type tracer struct {
 	// Merged after run() from the per-worker buffers.
 	candidates []candidate
 	prunedRefs int64
+
+	// staleBytesPer holds the stale closure's per-candidate subgraph sizes,
+	// aligned with candidates. Byte ATTRIBUTION (AccountStaleBytes) is
+	// decoupled from the closure itself so a concurrent SELECT cycle can
+	// trace stale subgraphs while mutators run, then attribute only the
+	// candidates that survive drift verification in the final pause — and
+	// so a degrade leaves the edge table unpolluted.
+	staleBytesPer []uint64
 }
 
 // abort requests that every worker drain out; the first cause is kept.
@@ -117,6 +154,7 @@ type traceWorker struct {
 
 	candidates []candidate
 	staleEdges []staleEdge
+	pruneRecs  []pruneRec
 	pruned     int64
 }
 
@@ -321,12 +359,25 @@ func (w *traceWorker) acquire() bool {
 // CAS failure just skips the tag — the mutator's new value stays untagged
 // until the next cycle scans it, which only delays staleness detection.
 func (t *tracer) setStaleTag(obj *heap.Object, slot int, r heap.Ref) {
+	t.applyStaleTag(obj, slot, r)
+}
+
+// applyStaleTag is setStaleTag returning the value the slot is now expected
+// to hold: the tagged reference when the tag landed, the original r when a
+// concurrent CAS lost to a mutator. Candidate deferral records this as the
+// drift-verification baseline — a lost CAS means the mutator already
+// touched the slot, so verification will (correctly) see a mismatch and
+// demote.
+func (t *tracer) applyStaleTag(obj *heap.Object, slot int, r heap.Ref) heap.Ref {
 	tagged := r.Untagged().WithStale()
 	if t.concurrent {
-		obj.CompareAndSwapRef(slot, r, tagged)
-		return
+		if obj.CompareAndSwapRef(slot, r, tagged) {
+			return tagged
+		}
+		return r
 	}
 	obj.SetRef(slot, tagged)
+	return tagged
 }
 
 // anyQueued reports whether any worker's deque still holds a batch.
@@ -387,14 +438,36 @@ func (w *traceWorker) scan(id heap.ObjectID) {
 			if t.plan.Candidate != nil && t.plan.Candidate(src, tgtClass, stale) {
 				// Defer to the stale closure; tag the slot so the barrier
 				// still fires if the program uses the reference later.
+				expect := r
 				if t.plan.TagRefs && !r.IsStaleTagged() {
-					t.setStaleTag(obj, slot, r)
+					expect = t.applyStaleTag(obj, slot, r)
 				}
-				w.candidates = append(w.candidates, candidate{src: src, tgt: tgtClass, ref: r.Untagged()})
+				w.candidates = append(w.candidates, candidate{
+					src: src, tgt: tgtClass, ref: r.Untagged(),
+					srcID: id, slot: slot, expect: expect,
+				})
 				continue
 			}
 		case ModePrune:
 			if t.plan.ShouldPrune != nil && t.plan.ShouldPrune(src, tgtClass, stale) {
+				if t.deferOps {
+					// Concurrent phase: defer the poisoning decision to the
+					// final remark. Ensure the slot is stale-tagged first —
+					// the tag is what forces any mutator load through the
+					// read barrier's cold path (untag + ClearStale), so an
+					// extraction of the target during the window is always
+					// visible to the remark's expect-compare. Without it a
+					// mutator could copy the doomed reference into a live
+					// object unobserved and the poison would dangle.
+					expect := r
+					if !r.IsStaleTagged() {
+						expect = t.applyStaleTag(obj, slot, r)
+					}
+					w.pruneRecs = append(w.pruneRecs, pruneRec{
+						srcID: id, slot: slot, src: src, tgt: tgtClass, expect: expect,
+					})
+					continue
+				}
 				// Poison: set the second-lowest bit as well as the lowest
 				// bit and do not trace the target (§4.3).
 				obj.SetRef(slot, r.Untagged().WithPoison())
@@ -418,14 +491,29 @@ func (w *traceWorker) scan(id heap.ObjectID) {
 	}
 }
 
+// gatherCandidates moves the per-worker candidate buffers into
+// t.candidates without touching the other merge() work. The concurrent
+// SELECT driver calls it between the in-use closure and the concurrent
+// stale closure (which indexes t.candidates); the buffers are cleared so
+// the eventual merge() appends only remark-discovered candidates.
+func (t *tracer) gatherCandidates() {
+	for _, w := range t.workers {
+		t.candidates = append(t.candidates, w.candidates...)
+		w.candidates = nil
+	}
+}
+
 // staleClosure runs the SELECT state's second phase: from each candidate
-// reference, mark the objects reachable only through it and attribute their
-// bytes to the candidate's edge type (§4.2). Each candidate's closure is
-// processed by a single worker; distinct candidates run in parallel (§4.5).
-// Objects shared between candidates are attributed to whichever closure
-// claims them first, matching the prototype's claim-based accounting.
-func (t *tracer) staleClosure() uint64 {
-	var total atomic.Uint64
+// reference, mark the objects reachable only through it and size the
+// subgraph (§4.2). Each candidate's closure is processed by a single
+// worker; distinct candidates run in parallel (§4.5). Objects shared
+// between candidates are attributed to whichever closure claims them
+// first, matching the prototype's claim-based accounting. Sizes land in
+// t.staleBytesPer; attribution to the edge table is a separate step
+// (accountStale) so a concurrent cycle can verify candidates against the
+// frozen snapshot — and demote drifted ones — before any bytes count.
+func (t *tracer) staleClosure() {
+	t.staleBytesPer = make([]uint64, len(t.candidates))
 	var next atomic.Int64
 	workers := len(t.workers)
 	if workers > len(t.candidates) {
@@ -441,17 +529,27 @@ func (t *tracer) staleClosure() uint64 {
 				if i >= len(t.candidates) {
 					return
 				}
-				c := t.candidates[i]
-				bytes := t.traceStaleRoot(c.ref)
-				if t.plan.AccountStaleBytes != nil {
-					t.plan.AccountStaleBytes(c.src, c.tgt, bytes)
-				}
-				total.Add(bytes)
+				t.staleBytesPer[i] = t.traceStaleRoot(t.candidates[i].ref)
 			}
 		}()
 	}
 	wg.Wait()
-	return total.Load()
+}
+
+// accountStale replays the stale closure's per-candidate sizes into the
+// policy's AccountStaleBytes hook and returns the total. Serial, so it is
+// safe inside a pause; the sums are identical to the old inline
+// attribution (AddBytesUsed is commutative).
+func (t *tracer) accountStale() uint64 {
+	var total uint64
+	for i, c := range t.candidates {
+		b := t.staleBytesPer[i]
+		if t.plan.AccountStaleBytes != nil {
+			t.plan.AccountStaleBytes(c.src, c.tgt, b)
+		}
+		total += b
+	}
+	return total
 }
 
 // traceStaleRoot marks and sizes the subgraph reachable from one candidate

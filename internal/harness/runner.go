@@ -50,6 +50,14 @@ type GCSample struct {
 	State     core.State
 	Mode      string
 	GCTime    time.Duration
+	// LiveHash is the post-cycle live-set fingerprint (Config.HashLiveSet
+	// only; 0 otherwise). Candidates, Pruned, and Degraded carry the
+	// cycle's SELECT/PRUNE decisions so equivalence checks can compare a
+	// concurrent-mark run against its STW control cycle by cycle.
+	LiveHash   uint64
+	Candidates int
+	Pruned     int
+	Degraded   bool
 }
 
 // Config parameterizes one run.
@@ -97,10 +105,16 @@ type Config struct {
 	// "" or "safepoint" (default), or "rwmutex" (the legacy shared-lock
 	// path, kept for equivalence runs).
 	WorldLock string
-	// MarkMode selects the ModeNormal closure strategy: "" or "stw"
-	// (default), or "concurrent" (mostly-concurrent marking behind the SATB
-	// deletion barrier; requires the safepoint world lock).
+	// MarkMode selects the closure strategy for every cycle mode: "" or
+	// "stw" (default), or "concurrent" (mostly-concurrent marking behind
+	// the SATB deletion barrier, including SELECT/PRUNE cycles against a
+	// frozen staleness snapshot; requires the safepoint world lock).
 	MarkMode string
+	// HashLiveSet computes a live-set fingerprint inside every full
+	// collection's final pause and records it in GCSample.LiveHash — the
+	// cross-run equivalence probe the chaos campaign's concurrent-mark
+	// scenarios key on.
+	HashLiveSet bool
 	// Obs attaches the observability layer (metrics + trace-event tracer)
 	// to the run's VM; after Run returns, obs.WriteArtifacts exports the
 	// trace and metrics snapshot. Nil disables it.
@@ -200,6 +214,7 @@ func Run(cfg Config) (Result, error) {
 		AuditEveryGC:   cfg.AuditEveryGC,
 		STWWatchdog:    cfg.STWWatchdog,
 		Obs:            cfg.Obs,
+		HashLiveSet:    cfg.HashLiveSet,
 	}
 	opts.Generational = cfg.Generational
 	if melt {
@@ -240,12 +255,16 @@ func Run(cfg Config) (Result, error) {
 	}
 	opts.OnGC = func(ev vm.Event) {
 		res.GCSamples = append(res.GCSamples, GCSample{
-			GCIndex:   ev.Result.Index,
-			Iteration: int(iterNow.Load()),
-			BytesLive: ev.Heap.BytesUsed,
-			State:     ev.State,
-			Mode:      ev.Result.Mode.String(),
-			GCTime:    ev.Result.Duration,
+			GCIndex:    ev.Result.Index,
+			Iteration:  int(iterNow.Load()),
+			BytesLive:  ev.Heap.BytesUsed,
+			State:      ev.State,
+			Mode:       ev.Result.Mode.String(),
+			GCTime:     ev.Result.Duration,
+			LiveHash:   ev.LiveHash,
+			Candidates: ev.Result.Candidates,
+			Pruned:     ev.Result.PrunedRefs,
+			Degraded:   ev.Result.Degraded,
 		})
 	}
 	if cfg.Verbose != nil {

@@ -39,6 +39,10 @@ func (s *Server) Handler() http.Handler {
 			"level":          s.PressureLevel(),
 			"budget_bytes":   s.Budget(),
 			"resident_bytes": uint64(s.gResident.Load()),
+			// Worst-case pause per cycle mode across all tenants: the
+			// operator's check that concurrent SELECT/PRUNE pauses stay in
+			// the microsecond range.
+			"max_pause_ns_by_mode": s.MaxPausesByMode(),
 		})
 	})
 	mux.HandleFunc("GET /tenants", func(w http.ResponseWriter, r *http.Request) {

@@ -552,6 +552,36 @@ func (s *Server) dropTenant(name string, t *Tenant) {
 }
 
 // Tenants snapshots every tenant's status, sorted by name.
+// MaxPausesByMode aggregates, across every live tenant VM, the longest
+// stop-the-world pause observed per GC cycle mode ("normal", "select",
+// "prune"), in nanoseconds. Under concurrent marking the SELECT/PRUNE
+// entries stay microsecond-scale; /pressure exposes this so operators can
+// verify the frozen-snapshot machinery is actually keeping those pauses
+// short under multi-tenant load.
+func (s *Server) MaxPausesByMode() map[string]int64 {
+	s.mu.Lock()
+	list := make([]*Tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		if t != nil {
+			list = append(list, t)
+		}
+	}
+	s.mu.Unlock()
+	out := map[string]int64{}
+	for _, t := range list {
+		machine := t.currentVM()
+		if machine == nil {
+			continue
+		}
+		for mode, ns := range machine.MaxPausesByMode() {
+			if ns > out[mode] {
+				out[mode] = ns
+			}
+		}
+	}
+	return out
+}
+
 func (s *Server) Tenants() []TenantStatus {
 	s.mu.Lock()
 	list := make([]*Tenant, 0, len(s.tenants))

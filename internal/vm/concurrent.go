@@ -10,21 +10,26 @@ import (
 // collectConcurrent runs one full collection cycle in mostly-concurrent
 // mark mode (Options.MarkMode == MarkConcurrent). Caller holds cycleMu.
 //
-// A ModeNormal cycle is split into three short pauses with the expensive
+// Every cycle mode is split into three short pauses with the expensive
 // phases running while mutators execute:
 //
-//	pause 1  plan the cycle, snapshot roots (gc.StartConcurrent), arm black
-//	         allocation and the SATB deletion barriers
-//	         ... concurrent mark (gc.RunMark) ...
-//	pause 2  drain the SATB buffers, final remark (gc.FinishMark) — or
-//	         degrade to a fresh fully-STW closure on any fault
+//	pause 1  plan the cycle — for SELECT/PRUNE this freezes the edge
+//	         table's staleness snapshot (core.Controller.PlanCycle) —
+//	         snapshot roots (gc.StartConcurrent), arm black allocation and
+//	         the SATB deletion barriers
+//	         ... concurrent mark (gc.RunMark; SELECT also runs the stale
+//	         closure here) ...
+//	pause 2  drain the SATB buffers, final remark (gc.FinishMark): finish
+//	         the closure, verify deferred SELECT/PRUNE decisions against
+//	         the frozen snapshot (drifted edges are demoted per-edge) —
+//	         or degrade to a fresh fully-STW closure on any fault
 //	         ... concurrent sweep (gc.Sweep) ...
-//	pause 3  promotion, triggers, controller transition, OnGC
+//	pause 3  promotion, triggers, controller transition (SELECT scoring,
+//	         PRUNE bookkeeping), OnGC
 //
-// SELECT and PRUNE cycles (and every cycle in STW mark mode) keep the
-// one-pause path: candidate selection and poisoning need a single
-// consistent closure (§3.2, §4.2), so when the controller plans one, this
-// function runs it fully-STW inline under the first pause.
+// Exhaustion-driven collections (allocSlow) still take the one-pause STW
+// path in both mark modes: they run because the heap is full, so there is
+// no mutator progress to protect.
 func (v *VM) collectConcurrent() gc.Result {
 	var (
 		cm     *gc.ConcurrentMark
@@ -32,15 +37,11 @@ func (v *VM) collectConcurrent() gc.Result {
 	)
 	// Pause 1 — snapshot. Each pause body holds the world via its own defer
 	// so a panicking callback cannot leave the world stopped.
-	if res := func() *gc.Result {
+	func() {
 		t0 := time.Now()
 		v.stopTheWorld()
 		defer v.startTheWorld()
 		plan := v.preparePlan()
-		if plan.Mode != gc.ModeNormal {
-			r := v.finishCollect(v.collector.Collect(plan), nil, t0)
-			return &r
-		}
 		cm = v.collector.StartConcurrent(plan)
 		// Everything allocated from here to the end of the cycle is born
 		// black on the cycle's epoch, so neither the marker nor the sweeper
@@ -49,10 +50,7 @@ func (v *VM) collectConcurrent() gc.Result {
 		v.armSATB()
 		v.gcActive.Store(true)
 		pause1 = time.Since(t0)
-		return nil
-	}(); res != nil {
-		return *res
-	}
+	}()
 
 	// The closure over the snapshot runs with the world started; at
 	// GOMAXPROCS=1 its workers interleave with mutators through the Go
@@ -85,6 +83,11 @@ func (v *VM) collectConcurrent() gc.Result {
 		if v.inj.Should(faultinject.RemarkStall) {
 			// A remark that is slow to finish: stretches this pause without
 			// changing any observable result.
+			safepointStall()
+		}
+		if cm.Mode() == gc.ModePrune && v.inj.Should(faultinject.PruneRemarkStall) {
+			// A slow deferred-poisoning verification pass: stretches the
+			// PRUNE final pause without changing any observable result.
 			safepointStall()
 		}
 		return time.Since(t0)

@@ -103,8 +103,9 @@ func markEquivalenceRun(t *testing.T, mode MarkMode, inj *faultinject.Injector) 
 // trap sequences when the pruned structure is probed — the mark mode must
 // be invisible to program semantics. A concurrent re-run checks the mode
 // against itself for determinism, and the pause structure is asserted on
-// the side: ModeNormal cycles get three short pauses, SELECT/PRUNE keep
-// their single fully-STW pause.
+// the side: every concurrent-mode cycle — normal, SELECT, and PRUNE —
+// gets three short pauses (SELECT/PRUNE run their candidate selection and
+// deferred poisoning against the frozen staleness snapshot).
 func TestMarkModeEquivalence(t *testing.T) {
 	stw, stwCycles, _ := markEquivalenceRun(t, MarkSTW, nil)
 	con, conCycles, _ := markEquivalenceRun(t, MarkConcurrent, nil)
@@ -119,30 +120,37 @@ func TestMarkModeEquivalence(t *testing.T) {
 			t.Fatalf("stw cycle %d: %d pauses, want 1", i, c.pauses)
 		}
 	}
-	var normals int
+	var normals, selects, prunes int
 	for i, c := range conCycles {
-		want := 1 // SELECT/PRUNE stay fully STW
-		if c.mode == gc.ModeNormal.String() {
-			want = 3
+		switch c.mode {
+		case gc.ModeNormal.String():
 			normals++
+		case gc.ModeSelect.String():
+			selects++
+		case gc.ModePrune.String():
+			prunes++
 		}
-		if c.pauses != want {
-			t.Fatalf("concurrent cycle %d (%s): %d pauses, want %d", i, c.mode, c.pauses, want)
+		if c.pauses != 3 {
+			t.Fatalf("concurrent cycle %d (%s): %d pauses, want 3", i, c.mode, c.pauses)
 		}
 		if c.degraded {
 			t.Fatalf("concurrent cycle %d degraded without any fault armed", i)
 		}
 	}
-	if normals == 0 {
-		t.Fatal("workload drove no ModeNormal cycles; the comparison is vacuous")
+	if normals == 0 || selects == 0 || prunes == 0 {
+		t.Fatalf("workload drove %d normal / %d select / %d prune concurrent cycles; every mode must be exercised",
+			normals, selects, prunes)
 	}
 }
 
 // TestConcurrentDegradeEquivalence arms the SATB barrier-drop fault on
-// every draw, so every concurrent ModeNormal cycle detects a lost buffer at
-// the remark pause and degrades to a fresh fully-STW closure. The degraded
-// runs must still reproduce the STW oracle's fingerprint exactly — the
-// degradation path is a sound fallback, not a different collector.
+// every draw, so every concurrent cycle — normal, SELECT, and PRUNE alike —
+// detects a lost buffer at the remark pause and degrades to a fresh
+// fully-STW closure. The degraded runs must still reproduce the STW
+// oracle's fingerprint exactly — the degradation path is a sound fallback,
+// not a different collector — and for SELECT/PRUNE that covers discarding
+// the deferred candidate/poisoning work and re-deriving it serially under
+// the same frozen staleness cut.
 func TestConcurrentDegradeEquivalence(t *testing.T) {
 	stw, _, _ := markEquivalenceRun(t, MarkSTW, nil)
 	inj := faultinject.New(1)
@@ -152,18 +160,46 @@ func TestConcurrentDegradeEquivalence(t *testing.T) {
 		t.Fatalf("degraded concurrent run diverged from the STW oracle:\nstw:      %s\ndegraded: %s", stw, con)
 	}
 	var degraded int
-	for _, c := range cycles {
-		if c.mode == gc.ModeNormal.String() {
-			if !c.degraded {
-				t.Fatal("ModeNormal cycle did not degrade with the drop fault armed on every draw")
-			}
-			degraded++
-		} else if c.degraded {
-			t.Fatalf("%s cycle reported degradation; SELECT/PRUNE never run concurrently", c.mode)
+	for i, c := range cycles {
+		if !c.degraded {
+			t.Fatalf("cycle %d (%s) did not degrade with the drop fault armed on every draw", i, c.mode)
 		}
+		degraded++
 	}
 	if degraded == 0 || st.DegradedTraces != uint64(degraded) {
-		t.Fatalf("DegradedTraces = %d, want %d (one per ModeNormal cycle)", st.DegradedTraces, degraded)
+		t.Fatalf("DegradedTraces = %d, want %d (one per concurrent cycle)", st.DegradedTraces, degraded)
+	}
+}
+
+// TestConcurrentSnapshotDriftDegrade arms the injected unresolvable
+// snapshot drift on every draw: every concurrent SELECT and PRUNE remark
+// must then bump the epoch and re-run the serial STW closure, while
+// ModeNormal cycles (which have no snapshot to drift) complete
+// concurrently. The fingerprint must still match the STW oracle — degrade
+// re-derives selection and poisoning from the same frozen cut.
+func TestConcurrentSnapshotDriftDegrade(t *testing.T) {
+	stw, _, _ := markEquivalenceRun(t, MarkSTW, nil)
+	inj := faultinject.New(7)
+	inj.Arm(faultinject.SelectSnapshotDrift, 1.0)
+	con, cycles, _ := markEquivalenceRun(t, MarkConcurrent, inj)
+	if stw != con {
+		t.Fatalf("drift-degraded run diverged from the STW oracle:\nstw:   %s\ndrift: %s", stw, con)
+	}
+	var degraded int
+	for i, c := range cycles {
+		isNormal := c.mode == gc.ModeNormal.String()
+		if isNormal && c.degraded {
+			t.Fatalf("cycle %d (normal) degraded; SelectSnapshotDrift must only hit SELECT/PRUNE remarks", i)
+		}
+		if !isNormal {
+			if !c.degraded {
+				t.Fatalf("cycle %d (%s) did not degrade with drift armed on every draw", i, c.mode)
+			}
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("no SELECT/PRUNE cycles degraded; the drift path is untested")
 	}
 }
 

@@ -49,12 +49,16 @@ const (
 	// stop-the-world pause — the original behavior, kept as the equivalence
 	// oracle for the concurrent path.
 	MarkSTW MarkMode = iota
-	// MarkConcurrent splits ModeNormal cycles into short pauses: a root
+	// MarkConcurrent splits every cycle mode into short pauses: a root
 	// snapshot, a mutator-concurrent mark (SATB deletion barrier on Store,
 	// black allocation), a brief final remark, and a background sweep.
-	// SELECT and PRUNE cycles remain fully stop-the-world — the paper's
-	// candidate selection and reference poisoning require one consistent
-	// closure (§3.2, §4.2).
+	// SELECT and PRUNE cycles get the one consistent cut the paper's
+	// candidate selection and reference poisoning require (§3.2, §4.2)
+	// from a staleness snapshot frozen in the first pause: predicates
+	// evaluate against it, decisions taken while mutators run are
+	// re-verified in the final remark, and any edge a mutator invalidated
+	// in the window is demoted rather than mis-selected (see DESIGN.md,
+	// "Concurrent SELECT and PRUNE").
 	MarkConcurrent
 )
 
@@ -167,11 +171,13 @@ type Options struct {
 	// original shared-RWMutex protocol, kept for equivalence testing.
 	WorldLock WorldLockMode
 
-	// MarkMode selects the ModeNormal closure strategy: MarkSTW (default)
-	// traces inside the pause; MarkConcurrent marks concurrently with
-	// mutators behind an SATB deletion barrier, shrinking pauses to root
-	// snapshot + remark + bookkeeping. Requires WorldSafepoint and is
-	// mutually exclusive with OffloadDisk.
+	// MarkMode selects the closure strategy for all cycle modes: MarkSTW
+	// (default) traces inside the pause; MarkConcurrent marks concurrently
+	// with mutators behind an SATB deletion barrier, shrinking pauses to
+	// root snapshot + remark + bookkeeping — including SELECT and PRUNE
+	// cycles, whose selection and poisoning verify against a frozen
+	// staleness snapshot in the final remark. Requires WorldSafepoint and
+	// is mutually exclusive with OffloadDisk.
 	MarkMode MarkMode
 
 	// Obs attaches the observability layer (metrics registry + trace-event

@@ -197,7 +197,15 @@ type VM struct {
 	obsPoisonTraps *obs.Counter
 	obsBarrierCold *obs.Counter
 	obsStopNs      *obs.Histogram
-	obsPauseNs     *obs.Histogram
+	// obsPauseNs is indexed by the cycle's gc.Mode: each histogram carries a
+	// "mode" label so dashboards can tell a normal cycle's pauses from the
+	// SELECT/PRUNE pauses the concurrent snapshot machinery keeps short.
+	obsPauseNs [3]*obs.Histogram
+
+	// maxPauseNs tracks, per cycle mode, the longest stop-the-world pause
+	// observed so far (always maintained, with or without Options.Obs —
+	// the daemon's /pressure endpoint reports it per tenant).
+	maxPauseNs [3]atomic.Int64
 }
 
 // New constructs a VM. Invalid option combinations panic: configuration is
@@ -230,8 +238,10 @@ func New(opts Options) *VM {
 		v.obsBarrierCold = reg.NewCounter("lp_barrier_cold_hits_total", "read-barrier cold-path executions")
 		v.obsStopNs = reg.NewHistogram("lp_safepoint_stop_ns", "stop-the-world time-to-stop latency",
 			obs.DurationBucketsNs, obs.L("world", opts.WorldLock.String()))
-		v.obsPauseNs = reg.NewHistogram("lp_gc_pause_ns", "stop-the-world pause duration per GC pause",
-			obs.DurationBucketsNs, obs.L("mark", opts.MarkMode.String()))
+		for m := gc.ModeNormal; m <= gc.ModePrune; m++ {
+			v.obsPauseNs[m] = reg.NewHistogram("lp_gc_pause_ns", "stop-the-world pause duration per GC pause",
+				obs.DurationBucketsNs, obs.L("mark", opts.MarkMode.String()), obs.L("mode", m.String()))
+		}
 		v.collector.SetObs(opts.Obs)
 		v.heap.SetObs(opts.Obs)
 		v.inj.SetObs(opts.Obs)
@@ -638,8 +648,15 @@ func (v *VM) finishCollect(res gc.Result, priorPauses []time.Duration, pauseStar
 		v.barriersActive.Store(true)
 	}
 	pauses := append(priorPauses, time.Since(pauseStart))
+	mode := res.Mode
+	if int(mode) >= len(v.obsPauseNs) {
+		mode = gc.ModeNormal
+	}
 	for _, p := range pauses {
-		v.obsPauseNs.Observe(uint64(p.Nanoseconds()))
+		v.obsPauseNs[mode].Observe(uint64(p.Nanoseconds()))
+		if ns := p.Nanoseconds(); ns > v.maxPauseNs[mode].Load() {
+			v.maxPauseNs[mode].Store(ns)
+		}
 	}
 	var liveHash uint64
 	if v.opts.HashLiveSet {
@@ -649,6 +666,19 @@ func (v *VM) finishCollect(res gc.Result, priorPauses []time.Duration, pauseStar
 		v.opts.OnGC(Event{Result: res, Heap: hs, State: v.ctrl.State(), Pauses: pauses, LiveHash: liveHash})
 	}
 	return res
+}
+
+// MaxPausesByMode returns the longest stop-the-world pause observed so far
+// for each cycle mode ("normal", "select", "prune"), in nanoseconds. Modes
+// that have not run yet report 0. The daemon's /pressure endpoint exposes
+// this per tenant so operators can verify SELECT/PRUNE pauses stay in the
+// microsecond range under concurrent marking.
+func (v *VM) MaxPausesByMode() map[string]int64 {
+	out := make(map[string]int64, 3)
+	for m := gc.ModeNormal; m <= gc.ModePrune; m++ {
+		out[m.String()] = v.maxPauseNs[m].Load()
+	}
+	return out
 }
 
 // SetNearlyFullFraction tightens (or relaxes) the pruning controller's
