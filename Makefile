@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet cover fuzz-smoke bench-smoke bench-phases bench-mutator bench-pause bench-jit chaos chaos-smoke leakd-smoke leakd-demo leakd-soak
+.PHONY: all build test race vet cover fuzz-smoke trace-smoke bench-smoke bench-phases bench-mutator bench-pause bench-jit chaos chaos-smoke leakd-smoke leakd-demo leakd-soak
 
 all: build test vet
 
@@ -11,12 +11,13 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent collector, allocator, runtime
-# facade, fault-injection, observability, JIT-simulation, and daemon
-# packages.
+# facade, fault-injection, observability, JIT-simulation, daemon, trace,
+# and replay-harness packages.
 race:
 	$(GO) test -race ./internal/gc/... ./internal/heap/... ./internal/vm/... \
 		./internal/edgetable/... ./internal/offload/... ./internal/faultinject/... \
-		./internal/obs/... ./internal/jitsim/... ./internal/server/...
+		./internal/obs/... ./internal/jitsim/... ./internal/server/... \
+		./internal/trace/... ./internal/harness/...
 
 vet:
 	$(GO) vet ./...
@@ -27,15 +28,30 @@ cover:
 
 # Short native-fuzzing pass over the fuzz targets: the edge table's
 # shadow-model fuzz, the tagged-reference round trip, the SATB
-# deletion-barrier buffer against its shadow model, and the tier-1 barrier
-# elision against the always-barrier oracle. The checked-in corpora under
-# testdata/fuzz run in every plain `go test`; this adds ten seconds of
-# fresh input generation per target.
+# deletion-barrier buffer against its shadow model, the tier-1 barrier
+# elision against the always-barrier oracle, and the allocation-trace
+# codec round trip (hostile-parse + script round trip). The checked-in
+# corpora under testdata/fuzz run in every plain `go test`; this adds ten
+# seconds of fresh input generation per target.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzEdgeTable$$' -fuzztime=10s ./internal/edgetable
 	$(GO) test -run='^$$' -fuzz='^FuzzPoisonRoundTrip$$' -fuzztime=10s ./internal/vm
 	$(GO) test -run='^$$' -fuzz='^FuzzSATBBuffer$$' -fuzztime=10s ./internal/vm
 	$(GO) test -run='^$$' -fuzz='^FuzzElision$$' -fuzztime=10s ./internal/jitsim
+	$(GO) test -run='^$$' -fuzz='^FuzzTraceRoundTrip$$' -fuzztime=10s ./internal/trace
+
+# Trace record/replay smoke gate: record a listleak run, structurally
+# verify and summarize the trace, replay it ×1 asserting cycle-exact
+# equivalence with the recording, then replay it ×4 (thread multiplication)
+# and under a different policy — all audit-clean, exit 1 on any failure.
+trace-smoke:
+	mkdir -p results
+	$(GO) run ./cmd/tracetool record -program listleak -policy default -iters 900 -o results/listleak.trace
+	$(GO) run ./cmd/tracetool verify -i results/listleak.trace
+	$(GO) run ./cmd/tracetool stat -i results/listleak.trace
+	$(GO) run ./cmd/tracetool replay -i results/listleak.trace -verify
+	$(GO) run ./cmd/tracetool replay -i results/listleak.trace -x 4
+	$(GO) run ./cmd/tracetool replay -i results/listleak.trace -policy most-stale
 
 # One iteration of each phase and mutator benchmark — a fast
 # compile-and-run sanity check that the mark/sweep/alloc scaling benches,

@@ -201,6 +201,7 @@ func main() {
 		rep.Scenarios = append(rep.Scenarios, s.name)
 	}
 	rep.Scenarios = append(rep.Scenarios, leakdScenarioNames()...)
+	rep.Scenarios = append(rep.Scenarios, traceReplayScenarioNames()...)
 
 	start := time.Now()
 	// Fault-free control runs, one per (workload, workers[, hash]) shape,
@@ -262,6 +263,23 @@ func main() {
 	for _, rec := range runLeakdScenarios(*seeds, *verbose) {
 		rep.Runs = append(rep.Runs, rec)
 		rep.TotalRuns++
+		if rec.AuditViolations > 0 {
+			rep.AuditViolationRuns++
+		}
+		if rec.Escape != "" {
+			rep.EscapeRuns++
+		}
+		if rec.EquivalenceMismatch != "" {
+			rep.EquivalenceMismatches++
+		}
+	}
+
+	// Record/replay scenarios: each workload recorded fault-free, replayed
+	// ×1 (cycle-exact against the recording) and ×4 (audit-clean).
+	for _, rec := range runTraceReplayScenarios(workloads, *iters, *heapLimit, *verbose) {
+		rep.Runs = append(rep.Runs, rec)
+		rep.TotalRuns++
+		rep.TotalCollections += rec.Collections
 		if rec.AuditViolations > 0 {
 			rep.AuditViolationRuns++
 		}

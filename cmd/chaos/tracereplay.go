@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	"leakpruning/internal/harness"
+	"leakpruning/internal/trace"
+)
+
+// The trace-replay scenarios extend the campaign to the record/replay
+// substrate (internal/trace + harness.Replay): a fault-free default-policy
+// run of each workload is recorded, then
+//
+//   - trace-replay: a ×1 replay under the recorded options must reproduce
+//     every GC cycle's live-set hash, candidate count, and pruned count
+//     byte for byte (an EquivalenceMismatch otherwise), and
+//   - trace-replay-x4: a ×4 thread-multiplied replay must stay audit-clean
+//     with every clone making progress.
+//
+// Both replays run the full invariant audit; any violation fails the
+// campaign like any other scenario.
+
+// traceReplayScenarioNames lists the replay scenarios in report order.
+func traceReplayScenarioNames() []string { return []string{"trace-replay", "trace-replay-x4"} }
+
+// runTraceReplayScenarios records each workload once and replays it ×1
+// (cycle-exact) and ×4 (audit-clean).
+func runTraceReplayScenarios(workloads []string, iters int, heapLimit uint64, verbose bool) []runRecord {
+	var recs []runRecord
+	for _, w := range workloads {
+		recTracer := trace.NewRecorder()
+		cfg := controlConfig(w, 1, iters, heapLimit)
+		cfg.HashLiveSet = true
+		cfg.Record = recTracer
+		res, err := harness.Run(cfg)
+
+		base := runRecord{Workload: w, Scenario: "trace-replay", Seed: 1}
+		if err != nil {
+			base.Escape = fmt.Sprintf("record run failed: %v", err)
+			recs = append(recs, base)
+			continue
+		}
+		var buf bytes.Buffer
+		if _, err := recTracer.WriteTo(&buf); err != nil {
+			base.Escape = fmt.Sprintf("trace serialization failed: %v", err)
+			recs = append(recs, base)
+			continue
+		}
+		tr, err := trace.ReadTrace(buf.Bytes())
+		if err != nil {
+			base.Escape = fmt.Sprintf("trace parse failed: %v", err)
+			recs = append(recs, base)
+			continue
+		}
+
+		// ×1: cycle-exact equivalence with the recording.
+		x1 := base
+		rr, err := harness.Replay(harness.ReplayConfig{Trace: tr, AuditEveryGC: true})
+		if err != nil {
+			x1.Escape = fmt.Sprintf("replay failed: %v", err)
+		} else {
+			fillReplayRecord(&x1, rr)
+			x1.HashCheckedCycles = len(rr.GCSamples)
+			if cerr := harness.CompareCycles(tr, rr.GCSamples); cerr != nil {
+				x1.EquivalenceMismatch = cerr.Error()
+			} else if !rr.Capped() && rr.Clones[0].Reason != res.Reason {
+				x1.EquivalenceMismatch = fmt.Sprintf("replay ended %s, recording ended %s",
+					rr.Clones[0].Reason, res.Reason)
+			}
+		}
+		recs = append(recs, x1)
+		if verbose {
+			fmt.Printf("%-20s %-10s seed  1: %d iters, %s (%d cycles hash-checked)\n",
+				x1.Scenario, w, x1.Iterations, x1.Reason, x1.HashCheckedCycles)
+		}
+
+		// ×4: thread multiplication stays audit-clean.
+		x4 := runRecord{Workload: w, Scenario: "trace-replay-x4", Seed: 1}
+		rr4, err := harness.Replay(harness.ReplayConfig{Trace: tr, Multiply: 4, AuditEveryGC: true})
+		if err != nil {
+			x4.Escape = fmt.Sprintf("replay failed: %v", err)
+		} else {
+			fillReplayRecord(&x4, rr4)
+			for _, c := range rr4.Clones {
+				if c.Reason == harness.EndReplayDiverged || c.Reason == harness.EndTraceCorrupt {
+					x4.Escape = fmt.Sprintf("clone %d failed structurally: %v (%v)", c.Clone, c.Reason, c.Err)
+				}
+			}
+		}
+		recs = append(recs, x4)
+		if verbose {
+			fmt.Printf("%-20s %-10s seed  1: %d iters, %s (%d audit violations)\n",
+				x4.Scenario, w, x4.Iterations, x4.Reason, x4.AuditViolations)
+		}
+	}
+	return recs
+}
+
+// fillReplayRecord copies a replay result into the campaign's record shape.
+func fillReplayRecord(rec *runRecord, rr harness.ReplayResult) {
+	worst := rr.Clones[0]
+	for _, c := range rr.Clones {
+		if !(harness.Result{Reason: c.Reason}).Capped() {
+			worst = c
+		}
+		rec.Iterations += c.Iterations
+	}
+	rec.Reason = string(worst.Reason)
+	rec.DurationMs = float64(rr.Duration.Milliseconds())
+	rec.Collections = rr.VMStats.Collections
+	rec.AuditsRun = rr.VMStats.AuditsRun
+	rec.AuditViolations = uint64(len(rr.AuditReport))
+	rec.Violations = rr.AuditReport
+}

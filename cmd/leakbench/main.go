@@ -24,6 +24,7 @@ import (
 
 	"leakpruning/internal/harness"
 	"leakpruning/internal/obs"
+	"leakpruning/internal/trace"
 	"leakpruning/internal/workload"
 )
 
@@ -38,6 +39,7 @@ func main() {
 		fullHeap = flag.Bool("full-heap-only", false, "use the paper's option (1): prune only at 100% heap fullness")
 		genMode  = flag.Bool("generational", false, "enable nursery (minor) collections")
 		obsDir   = flag.String("obs-dir", "", "write trace_*.json and metrics_*.json artifacts to this directory (single-program mode; empty = off)")
+		record   = flag.String("record", "", "record an allocation trace to this path (single-program mode; replay with cmd/tracetool)")
 		verbose  = flag.Bool("v", false, "stream prune and OOM events")
 		list     = flag.Bool("list", false, "list available programs")
 	)
@@ -74,10 +76,30 @@ func main() {
 		if *obsDir != "" {
 			cfg.Obs = obs.New()
 		}
+		var rec *trace.Recorder
+		if *record != "" {
+			rec = trace.NewRecorder()
+			cfg.Record = rec
+			cfg.HashLiveSet = true // the replay equivalence anchor
+		}
 		res, err := harness.Run(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if rec != nil {
+			f, ferr := os.Create(*record)
+			if ferr == nil {
+				var n int64
+				if n, ferr = rec.WriteTo(f); ferr == nil {
+					ferr = f.Close()
+					fmt.Printf("recorded allocation trace: %s (%d bytes)\n", *record, n)
+				}
+			}
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, ferr)
+				os.Exit(1)
+			}
 		}
 		if cfg.Obs != nil {
 			tag := fmt.Sprintf("%s_%s", *program, *policy)

@@ -1,0 +1,233 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"leakpruning/internal/trace"
+	"leakpruning/internal/workload"
+)
+
+// recordRun records one workload run and returns the parsed trace plus the
+// recording run's result.
+func recordRun(t *testing.T, cfg Config) (*trace.Trace, Result) {
+	t.Helper()
+	rec := trace.NewRecorder()
+	cfg.Record = rec
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("record run: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		t.Fatalf("serialize trace: %v", err)
+	}
+	tr, err := trace.ReadTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("parse trace: %v", err)
+	}
+	return tr, res
+}
+
+// TestReplayDeterminism: a ×1 replay of a recorded micro-leak run under
+// the recorded options reproduces every GC cycle's live-set hash,
+// candidate count, and pruned count byte-identically, across both world
+// locks and both mark modes.
+func TestReplayDeterminism(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		worldLock string
+		markMode  string
+	}{
+		{"safepoint-stw", "safepoint", "stw"},
+		{"rwmutex-stw", "rwmutex", "stw"},
+		{"safepoint-concurrent", "safepoint", "concurrent"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, rres := recordRun(t, Config{
+				Program:     "listleak",
+				Policy:      "default",
+				MaxIters:    900,
+				WorldLock:   tc.worldLock,
+				MarkMode:    tc.markMode,
+				HashLiveSet: true,
+			})
+			if len(tr.Classes) == 0 || len(tr.Threads) == 0 {
+				t.Fatalf("trace missing header tables: %d classes, %d threads", len(tr.Classes), len(tr.Threads))
+			}
+			rr, err := Replay(ReplayConfig{Trace: tr})
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if err := CompareCycles(tr, rr.GCSamples); err != nil {
+				t.Fatalf("×1 replay diverged from recording: %v", err)
+			}
+			// A replay that consumes the whole trace ends "completed"; the
+			// recorded run may have ended at its iteration cap — both are
+			// healthy. A died run must die the same way in replay.
+			if rres.Capped() {
+				if !(Result{Reason: rr.Clones[0].Reason}).Capped() {
+					t.Errorf("recorded run ended healthy (%v), replay died: %v (%v)",
+						rres.Reason, rr.Clones[0].Reason, rr.Clones[0].Err)
+				}
+			} else if got, want := rr.Clones[0].Reason, rres.Reason; got != want {
+				t.Errorf("clone end reason %v, recorded run ended %v", got, want)
+			}
+			if rr.Clones[0].Skipped != 0 {
+				t.Errorf("single-threaded replay skipped %d events", rr.Clones[0].Skipped)
+			}
+			if len(rr.AuditReport) != 0 {
+				t.Errorf("final audit violations: %v", rr.AuditReport)
+			}
+		})
+	}
+}
+
+// TestReplayEquivalence: the SAME recording replays byte-identically under
+// both world locks and both mark modes — the trace is a policy-validation
+// substrate precisely because the synchronization protocol does not change
+// the heap's evolution.
+func TestReplayEquivalence(t *testing.T) {
+	tr, _ := recordRun(t, Config{
+		Program:     "listleak",
+		Policy:      "default",
+		MaxIters:    900,
+		HashLiveSet: true,
+	})
+	for _, tc := range []struct {
+		name      string
+		worldLock string
+		markMode  string
+	}{
+		{"rwmutex-stw", "rwmutex", "stw"},
+		{"safepoint-concurrent", "safepoint", "concurrent"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rr, err := Replay(ReplayConfig{Trace: tr, WorldLock: tc.worldLock, MarkMode: tc.markMode})
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if err := CompareCycles(tr, rr.GCSamples); err != nil {
+				t.Fatalf("replay under %s diverged: %v", tc.name, err)
+			}
+		})
+	}
+}
+
+// TestReplayReproducesDeath: runs that die — by poison trap (most-stale
+// pruning a live structure) or by OOM (pruning off) — die the same way at
+// ×1 replay, because the trace records the trapping load and the
+// exhausting allocation as its final events.
+func TestReplayReproducesDeath(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		program string
+		policy  string
+		want    EndReason
+	}{
+		{"poison-trap", "eclipsecp", "indiv-refs", EndPoisonTrap},
+		{"oom", "listleak", "off", EndOOM},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, rres := recordRun(t, Config{
+				Program:     tc.program,
+				Policy:      tc.policy,
+				MaxIters:    400,
+				HashLiveSet: true,
+			})
+			if rres.Reason != tc.want {
+				t.Fatalf("recorded run ended %v, want %v", rres.Reason, tc.want)
+			}
+			rr, err := Replay(ReplayConfig{Trace: tr})
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if got := rr.Clones[0].Reason; got != tc.want {
+				t.Fatalf("replay ended %v (%v), recorded run ended %v",
+					got, rr.Clones[0].Err, tc.want)
+			}
+			if err := CompareCycles(tr, rr.GCSamples); err != nil {
+				t.Fatalf("replay diverged before death: %v", err)
+			}
+		})
+	}
+}
+
+// TestReplayCrossPolicy: a recording made under one policy replays cleanly
+// under the others; outcomes differ (that is the point) but the heap stays
+// audit-clean.
+func TestReplayCrossPolicy(t *testing.T) {
+	tr, _ := recordRun(t, Config{
+		Program:  "listleak",
+		Policy:   "off",
+		MaxIters: 600,
+	})
+	for _, policy := range []string{"default", "most-stale", "indiv-refs"} {
+		t.Run(policy, func(t *testing.T) {
+			rr, err := Replay(ReplayConfig{Trace: tr, Policy: policy})
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if len(rr.AuditReport) != 0 {
+				t.Errorf("audit violations under %s: %v", policy, rr.AuditReport)
+			}
+			if rr.Clones[0].Reason == EndReplayDiverged || rr.Clones[0].Reason == EndTraceCorrupt {
+				t.Errorf("replay failed structurally: %v (%v)", rr.Clones[0].Reason, rr.Clones[0].Err)
+			}
+		})
+	}
+}
+
+// TestReplayMultiply: a ×4 thread-multiplied replay completes with zero
+// audit violations and every clone makes progress.
+func TestReplayMultiply(t *testing.T) {
+	tr, _ := recordRun(t, Config{
+		Program:  "listleak",
+		Policy:   "default",
+		MaxIters: 400,
+	})
+	rr, err := Replay(ReplayConfig{Trace: tr, Multiply: 4})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(rr.AuditReport) != 0 {
+		t.Errorf("audit violations: %v", rr.AuditReport)
+	}
+	for _, c := range rr.Clones {
+		if c.Iterations == 0 {
+			t.Errorf("clone %d made no progress: %v (%v)", c.Clone, c.Reason, c.Err)
+		}
+		if c.Reason == EndReplayDiverged || c.Reason == EndTraceCorrupt {
+			t.Errorf("clone %d failed structurally: %v (%v)", c.Clone, c.Reason, c.Err)
+		}
+	}
+}
+
+// TestReplayCorpusMultiply is the corpus acceptance gate: a ×10
+// thread-multiplied replay of each taxonomy corpus program completes with
+// zero audit violations under all three pruning policies. Recording is done
+// under "off" so every policy replays the same heap evolution.
+func TestReplayCorpusMultiply(t *testing.T) {
+	for _, e := range workload.Corpus() {
+		tr, _ := recordRun(t, Config{Program: e.Name, Policy: "off", MaxIters: 400})
+		for _, policy := range []string{"default", "most-stale", "indiv-refs"} {
+			t.Run(e.Name+"/"+policy, func(t *testing.T) {
+				rr, err := Replay(ReplayConfig{Trace: tr, Policy: policy, Multiply: 10})
+				if err != nil {
+					t.Fatalf("replay: %v", err)
+				}
+				if len(rr.AuditReport) != 0 {
+					t.Errorf("audit violations: %v", rr.AuditReport)
+				}
+				for _, c := range rr.Clones {
+					if c.Reason == EndReplayDiverged || c.Reason == EndTraceCorrupt {
+						t.Errorf("clone %d failed structurally: %v (%v)", c.Clone, c.Reason, c.Err)
+					}
+					if c.Iterations == 0 {
+						t.Errorf("clone %d made no progress: %v (%v)", c.Clone, c.Reason, c.Err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"leakpruning/internal/heap"
 	"leakpruning/internal/obs"
 	"leakpruning/internal/offload"
+	"leakpruning/internal/trace"
 	"leakpruning/internal/vm"
 	"leakpruning/internal/vmerrors"
 	"leakpruning/internal/workload"
@@ -119,6 +120,10 @@ type Config struct {
 	// to the run's VM; after Run returns, obs.WriteArtifacts exports the
 	// trace and metrics snapshot. Nil disables it.
 	Obs *obs.Obs
+	// Record attaches an allocation-trace recorder: the run's mutator
+	// operations, GC cycles, and iteration boundaries are recorded so the
+	// run can be replayed (see Replay). Nil disables recording.
+	Record *trace.Recorder
 	// Verbose streams prune/OOM events to fn as they happen.
 	Verbose func(format string, args ...any)
 }
@@ -223,35 +228,34 @@ func Run(cfg Config) (Result, error) {
 			opts.OffloadDisk = offload.DefaultDiskFactor * heapLimit
 		}
 	}
-	switch cfg.ForceState {
-	case "":
-	case "observe":
-		opts.Forced, opts.ForceState = true, core.StateObserve
-	case "select":
-		opts.Forced, opts.ForceState = true, core.StateSelect
-	default:
-		return Result{}, fmt.Errorf("harness: unknown forced state %q", cfg.ForceState)
+	if err := applyModeOptions(&opts, cfg.ForceState, cfg.BarrierVariant, cfg.WorldLock, cfg.MarkMode); err != nil {
+		return Result{}, err
 	}
-	switch cfg.BarrierVariant {
-	case "", "conditional":
-	case "unconditional":
-		opts.Barrier = vm.BarrierUnconditional
-	default:
-		return Result{}, fmt.Errorf("harness: unknown barrier variant %q", cfg.BarrierVariant)
-	}
-	switch cfg.WorldLock {
-	case "", "safepoint":
-	case "rwmutex":
-		opts.WorldLock = vm.WorldRWMutex
-	default:
-		return Result{}, fmt.Errorf("harness: unknown world-lock mode %q", cfg.WorldLock)
-	}
-	switch cfg.MarkMode {
-	case "", "stw":
-	case "concurrent":
-		opts.MarkMode = vm.MarkConcurrent
-	default:
-		return Result{}, fmt.Errorf("harness: unknown mark mode %q", cfg.MarkMode)
+	if cfg.Record != nil {
+		flags := uint64(0)
+		if cfg.HashLiveSet {
+			flags |= trace.FlagHashLiveSet
+		}
+		if cfg.Generational {
+			flags |= trace.FlagGenerational
+		}
+		if cfg.FullHeapOnly {
+			flags |= trace.FlagFullHeapOnly
+		}
+		if cfg.BarriersOff {
+			flags |= trace.FlagBarriersOff
+		}
+		cfg.Record.SetMeta(trace.Meta{
+			Program:        prog.Name(),
+			Policy:         policyLabel(cfg.Policy),
+			WorldLock:      orDefault(cfg.WorldLock, "safepoint"),
+			MarkMode:       orDefault(cfg.MarkMode, "stw"),
+			BarrierVariant: orDefault(cfg.BarrierVariant, "conditional"),
+			ForceState:     cfg.ForceState,
+			HeapLimit:      heapLimit,
+			Flags:          flags,
+		})
+		opts.TraceRecorder = cfg.Record
 	}
 	opts.OnGC = func(ev vm.Event) {
 		res.GCSamples = append(res.GCSamples, GCSample{
@@ -288,6 +292,7 @@ func Run(cfg Config) (Result, error) {
 		t.Scope(func() { prog.Setup(t) })
 		for iter := 0; iter < maxIters; iter++ {
 			iterNow.Store(int64(iter))
+			t.MarkIteration(iter)
 			t0 := time.Now()
 			done := false
 			// Each iteration runs in its own scope so the local references
@@ -340,6 +345,51 @@ func policyLabel(name string) string {
 		return "base"
 	}
 	return name
+}
+
+// orDefault normalizes an empty mode selector to its default's name.
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// applyModeOptions maps the harness's string-typed mode selectors
+// (forced controller state, barrier variant, world lock, mark mode) onto
+// vm.Options — shared by Run and Replay.
+func applyModeOptions(opts *vm.Options, forceState, barrierVariant, worldLock, markMode string) error {
+	switch forceState {
+	case "":
+	case "observe":
+		opts.Forced, opts.ForceState = true, core.StateObserve
+	case "select":
+		opts.Forced, opts.ForceState = true, core.StateSelect
+	default:
+		return fmt.Errorf("harness: unknown forced state %q", forceState)
+	}
+	switch barrierVariant {
+	case "", "conditional":
+	case "unconditional":
+		opts.Barrier = vm.BarrierUnconditional
+	default:
+		return fmt.Errorf("harness: unknown barrier variant %q", barrierVariant)
+	}
+	switch worldLock {
+	case "", "safepoint":
+	case "rwmutex":
+		opts.WorldLock = vm.WorldRWMutex
+	default:
+		return fmt.Errorf("harness: unknown world-lock mode %q", worldLock)
+	}
+	switch markMode {
+	case "", "stw":
+	case "concurrent":
+		opts.MarkMode = vm.MarkConcurrent
+	default:
+		return fmt.Errorf("harness: unknown mark mode %q", markMode)
+	}
+	return nil
 }
 
 // DiskExhausted reports whether a melt run's disk budget was the binding

@@ -225,6 +225,19 @@ func WithScalarBytes(n int) AllocOption {
 	return func(s *allocShape) { s.scalarBytes = n }
 }
 
+// ResolveShape applies opts to the class's default shape and returns the
+// effective (refSlots, scalarBytes) an allocation would use — what the
+// trace recorder needs to stamp shaped allocations without re-deriving the
+// shape from the allocated object.
+func (h *Heap) ResolveShape(class ClassID, opts []AllocOption) (refSlots, scalarBytes int) {
+	c := h.classes.Get(class)
+	shape := allocShape{refSlots: c.RefSlots, scalarBytes: c.ScalarBytes}
+	for _, o := range opts {
+		o(&shape)
+	}
+	return shape.refSlots, shape.scalarBytes
+}
+
 // Allocate creates a new object of the given class, charging exactly its
 // size against the heap limit. All reference slots start null. It returns
 // ErrHeapFull (without allocating) when the object does not fit; triggering

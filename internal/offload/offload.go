@@ -62,12 +62,12 @@ type Stats struct {
 	ObjectsFaults uint64
 
 	// Degradation counters for simulated disk I/O failures.
-	WriteFaults uint64 // individual failed write attempts
+	WriteFaults  uint64 // individual failed write attempts
 	WriteRetries uint64 // failed writes retried with backoff
-	KeptInHeap  uint64 // objects left resident after write retries ran out
-	ReadFaults  uint64 // individual failed read attempts
-	ReadRetries uint64 // failed reads retried with backoff
-	ReadAborts  uint64 // fault-ins abandoned after read retries ran out
+	KeptInHeap   uint64 // objects left resident after write retries ran out
+	ReadFaults   uint64 // individual failed read attempts
+	ReadRetries  uint64 // failed reads retried with backoff
+	ReadAborts   uint64 // fault-ins abandoned after read retries ran out
 }
 
 // Disk I/O retry policy: a failed read or write is retried with capped

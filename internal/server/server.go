@@ -601,10 +601,10 @@ func (s *Server) Tenants() []TenantStatus {
 
 // ShutdownReport summarizes a graceful shutdown for the operator.
 type ShutdownReport struct {
-	Tenants         int            `json:"tenants"`
-	DrainedCleanly  bool           `json:"drained_cleanly"`
-	CancelledInDrain uint64        `json:"cancelled_in_drain"`
-	AuditViolations map[string]int `json:"audit_violations,omitempty"`
+	Tenants          int            `json:"tenants"`
+	DrainedCleanly   bool           `json:"drained_cleanly"`
+	CancelledInDrain uint64         `json:"cancelled_in_drain"`
+	AuditViolations  map[string]int `json:"audit_violations,omitempty"`
 }
 
 // Shutdown drains the daemon: flip readiness off, wait out in-flight

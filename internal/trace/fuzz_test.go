@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// runScript interprets fuzz input as a deterministic op script driving a
+// Recorder over two mutator streams plus the collector stream, and returns
+// the event sequence the trace must decode to along with the serialized
+// bytes. EvIter and EvGCCycle are excluded: their payloads carry wall-clock
+// deltas, which would break the byte-determinism check (their decode is
+// covered by the unit tests and the harness replay tests).
+func runScript(data []byte) ([]Event, []byte) {
+	rec := NewRecorder()
+	rec.SetMeta(Meta{Program: "fuzz", HeapLimit: 1 << 20})
+	rec.DefineClass(1, "A", 1, 8)
+	rec.DefineClass(2, "B", 2, 16)
+	rec.AddGlobal(3)
+	streams := []*Stream{rec.NewStream("t1"), rec.NewStream("t2")}
+
+	// pend[i] holds events appended to stream i but not yet flushed into
+	// the sink; want accumulates them in flush (= file) order.
+	pend := make([][]Event, 3)
+	var want []Event
+	flushAll := func() {
+		for _, id := range []int{1, 2, 0} {
+			want = append(want, pend[id]...)
+			pend[id] = nil
+		}
+	}
+	base := Event{RefSlots: -1, ScalarBytes: -1}
+
+	cur := 0
+	pos := 0
+	arg := func(n int) uint64 {
+		var v uint64
+		for i := 0; i < n; i++ {
+			v <<= 8
+			if pos < len(data) {
+				v |= uint64(data[pos])
+				pos++
+			}
+		}
+		return v
+	}
+	for pos < len(data) {
+		op := data[pos]
+		pos++
+		s, sid := streams[cur], cur+1
+		ev := base
+		ev.Stream = sid
+		switch op % 14 {
+		case 0:
+			ev.Kind, ev.Obj = EvAlloc, arg(2)
+			ev.Class = uint32(1 + ev.Obj%2)
+			s.Alloc(ev.Class, ev.Obj)
+		case 1:
+			ev.Kind, ev.Obj = EvAllocShaped, arg(2)
+			ev.Class = uint32(1 + ev.Obj%2)
+			ev.RefSlots, ev.ScalarBytes = int(arg(1)%8), int(arg(1)%64)
+			s.AllocShaped(ev.Class, ev.Obj, ev.RefSlots, ev.ScalarBytes)
+		case 2:
+			ev.Kind, ev.Class = EvAllocFail, uint32(1+arg(1)%2)
+			s.AllocFail(ev.Class)
+		case 3:
+			ev.Kind, ev.Class = EvAllocFailShaped, uint32(1+arg(1)%2)
+			ev.RefSlots, ev.ScalarBytes = int(arg(1)%8), int(arg(1)%64)
+			s.AllocFailShaped(ev.Class, ev.RefSlots, ev.ScalarBytes)
+		case 4:
+			ev.Kind, ev.Obj, ev.Slot = EvLoad, arg(2), int(arg(1)%16)
+			s.Load(ev.Obj, ev.Slot)
+		case 5:
+			ev.Kind, ev.Obj, ev.Slot, ev.Val = EvStore, arg(2), int(arg(1)%16), arg(2)
+			s.Store(ev.Obj, ev.Slot, ev.Val)
+		case 6:
+			ev.Kind, ev.Arg = EvLoadGlobal, int(arg(1)%4)
+			s.LoadGlobal(ev.Arg)
+		case 7:
+			ev.Kind, ev.Arg, ev.Val = EvStoreGlobal, int(arg(1)%4), arg(2)
+			s.StoreGlobal(ev.Arg, ev.Val)
+		case 8:
+			ev.Kind, ev.Arg = EvPush, int(arg(1)%8)
+			s.Push(ev.Arg)
+		case 9:
+			ev.Kind = EvPop
+			s.Pop()
+		case 10:
+			ev.Kind = EvFrameSet
+			ev.Arg, ev.Slot, ev.Val = int(arg(1)%4), int(arg(1)%8), arg(2)
+			s.FrameSet(ev.Arg, ev.Slot, ev.Val)
+		case 11:
+			ev.Kind, ev.Stream, ev.Obj = EvFree, 0, arg(2)
+			rec.Free(ev.Obj)
+			sid = 0
+		case 12:
+			rec.DrainAll()
+			flushAll()
+			continue
+		case 13:
+			cur = int(arg(1)) % 2
+			continue
+		}
+		pend[sid] = append(pend[sid], ev)
+	}
+	// Close flushes each mutator stream immediately; the final WriteTo
+	// drain picks up any remaining collector events.
+	for i, s := range streams {
+		s.Close()
+		end := base
+		end.Kind, end.Stream = EvThreadEnd, i+1
+		pend[i+1] = append(pend[i+1], end)
+		want = append(want, pend[i+1]...)
+		pend[i+1] = nil
+	}
+	var buf bytes.Buffer
+	rec.WriteTo(&buf)
+	want = append(want, pend[0]...)
+	return want, buf.Bytes()
+}
+
+// requireTyped aborts unless err is a typed decode error.
+func requireTyped(t *testing.T, err error) {
+	t.Helper()
+	assertTyped(t, err)
+}
+
+// FuzzTraceRoundTrip checks two properties on arbitrary input:
+//
+//  1. Hostile parse: the input interpreted as a trace file either decodes
+//     or returns a typed error (ErrBadMagic, ErrBadVersion, CorruptError,
+//     TruncatedError) — never a panic, never an untyped error.
+//  2. Round trip: the input interpreted as an op script drives the
+//     Recorder; the result must parse, decode to exactly the recorded
+//     event sequence, and re-encode byte-identically.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add(sampleTraceBytes(f))
+	f.Add(sampleTraceBytes(f)[:30])
+	f.Add([]byte("LPTRACE1 with a ruined header"))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13})
+	script := make([]byte, 256)
+	for i := range script {
+		script[i] = byte(i * 7)
+	}
+	f.Add(script)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Property 1: hostile parse never panics, errors stay typed.
+		if tr, err := ReadTrace(data); err == nil {
+			if _, verr := tr.Validate(); verr != nil {
+				requireTyped(t, verr)
+			}
+		} else {
+			requireTyped(t, err)
+		}
+
+		// Property 2: encode → decode round trip.
+		want, blob := runScript(data)
+		tr, err := ReadTrace(blob)
+		if err != nil {
+			t.Fatalf("recorded trace failed to parse: %v", err)
+		}
+		it := tr.Iter()
+		var ev Event
+		for i := range want {
+			ok, err := it.Next(&ev)
+			if err != nil {
+				t.Fatalf("decode event %d: %v", i, err)
+			}
+			if !ok {
+				t.Fatalf("trace ended after %d events, want %d", i, len(want))
+			}
+			if ev != want[i] {
+				t.Fatalf("event %d: decoded %+v, recorded %+v", i, ev, want[i])
+			}
+		}
+		if ok, err := it.Next(&ev); err != nil || ok {
+			t.Fatalf("trailing event %+v (err %v) after %d expected", ev, err, len(want))
+		}
+
+		// Re-encoding the same script must be byte-identical.
+		_, blob2 := runScript(data)
+		if !bytes.Equal(blob, blob2) {
+			t.Fatalf("encoding is nondeterministic:\n%x\n%x", blob, blob2)
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus. Gated so a
+// plain test run never rewrites testdata; run with
+// TRACE_WRITE_CORPUS=1 go test ./internal/trace -run TestWriteFuzzCorpus
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("TRACE_WRITE_CORPUS") == "" {
+		t.Skip("set TRACE_WRITE_CORPUS=1 to regenerate the fuzz corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzTraceRoundTrip")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	sample := sampleTraceBytes(t)
+	script := make([]byte, 512)
+	for i := range script {
+		script[i] = byte(i*13 + 5)
+	}
+	seeds := map[string][]byte{
+		"valid-trace":   sample,
+		"truncated":     sample[:len(sample)/2],
+		"bad-magic":     []byte("NOTATRACEFILE at all"),
+		"script-dense":  script,
+		"script-drains": {12, 0, 1, 2, 12, 4, 9, 9, 5, 1, 2, 3, 12, 11, 8, 8, 11, 12, 13, 1, 0, 7, 7, 12},
+	}
+	for name, b := range seeds {
+		content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(b)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package vm
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"runtime"
@@ -15,6 +16,7 @@ import (
 	"leakpruning/internal/core"
 	"leakpruning/internal/faultinject"
 	"leakpruning/internal/obs"
+	"leakpruning/internal/trace"
 	"leakpruning/internal/vmerrors"
 )
 
@@ -187,6 +189,14 @@ type Options struct {
 	// reduces to a single nil check with no allocation and no clock read.
 	Obs *obs.Obs
 
+	// TraceRecorder attaches an allocation-trace recorder (internal/trace):
+	// every mutator operation, collector free, and completed GC cycle is
+	// recorded into per-thread streams, buffered thread-locally inside
+	// critical regions and drained at stop-the-world like the obs rings.
+	// Nil (the default) disables recording; every record site then reduces
+	// to one nil check.
+	TraceRecorder *trace.Recorder
+
 	// HashLiveSet computes a live-set fingerprint (see LiveSetHash) inside
 	// every full collection's final stop-the-world pause and delivers it in
 	// Event.LiveHash. It is the cross-run equivalence probe multi-tenant
@@ -243,6 +253,29 @@ func (o Options) withDefaults() Options {
 		}
 	}
 	return o
+}
+
+// Fingerprint hashes the execution-relevant effective options: every field
+// that changes what a run does to the heap. The trace recorder stamps it
+// into the header so a replay can warn when it re-executes a trace under
+// options other than the recorded ones (legitimate for cross-policy
+// replay, fatal for byte-identity verification). Callback hooks,
+// observability attachments, and the fault injector are excluded: they
+// observe a run without steering it.
+func (o Options) Fingerprint() uint64 {
+	o = o.withDefaults()
+	policy := "off"
+	if o.Policy != nil {
+		policy = o.Policy.Name()
+	}
+	s := fmt.Sprintf("heap=%d policy=%s disk=%d barriers=%v gen=%v nursery=%d bvar=%d lazy=%v euf=%g nff=%g fho=%v ets=%d forced=%v/%d world=%d mark=%d",
+		o.HeapLimit, policy, o.OffloadDisk, o.EnableBarriers, o.Generational,
+		o.NurserySize, int(o.Barrier), o.LazyBarriers, o.ExpectedUseFraction,
+		o.NearlyFullFraction, o.FullHeapOnly, o.EdgeTableSlots, o.Forced,
+		int(o.ForceState), int(o.WorldLock), int(o.MarkMode))
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
 }
 
 func (o Options) validate() error {

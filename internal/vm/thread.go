@@ -6,6 +6,7 @@ import (
 
 	"leakpruning/internal/heap"
 	"leakpruning/internal/obs"
+	"leakpruning/internal/trace"
 	"leakpruning/internal/vmerrors"
 )
 
@@ -63,6 +64,11 @@ type Thread struct {
 	// critical region, so ring access never needs a lock. Kept after the
 	// hot counters so attaching tracing cannot shift their offsets.
 	ring *obs.Ring
+
+	// rec is the thread's allocation-trace stream (nil when recording is
+	// off), under the same write discipline as ring: owner-only appends
+	// inside critical regions, drained at stop-the-world, closed by Exit.
+	rec *trace.Stream
 }
 
 // maxFramePool bounds a thread's frame pool; deeper recursion than this
@@ -87,6 +93,11 @@ const maxFramePool = 64
 type Frame struct {
 	slots  []uint64
 	locals []uint64
+	// owner is the thread whose stack this frame lives on, so Set can
+	// route a recorded write to the owning thread's trace stream. A frame
+	// may be handed to another goroutine (Mckoi's request frames); the
+	// slot store stays a plain atomic either way.
+	owner *Thread
 }
 
 // NewThread registers a new mutator thread. Threads created this way stay
@@ -99,6 +110,7 @@ func (v *VM) NewThread(name string) *Thread {
 		safepoint: v.world.mode == WorldSafepoint,
 		alloc:     v.heap.NewAllocContext(),
 		ring:      v.obsTracer.NewRing(name),
+		rec:       v.recorder.NewStream(name),
 	}
 	v.threadMu.Lock()
 	// A thread born while a concurrent mark is in flight starts with the
@@ -154,6 +166,10 @@ func (t *Thread) Exit() {
 		t.vm.obsTracer.CloseRing(t.ring)
 		t.ring = nil
 	}
+	if t.rec != nil {
+		t.rec.Close()
+		t.rec = nil
+	}
 	t.endOp()
 	t.vm.threadMu.Lock()
 	t.vm.retired.loads += t.loads.Load()
@@ -168,6 +184,9 @@ func (t *Thread) PushFrame(n int) *Frame {
 	f := t.takeFrame(n)
 	t.beginOp()
 	t.frames = append(t.frames, f)
+	if t.rec != nil {
+		t.rec.Push(n)
+	}
 	t.endOp()
 	return f
 }
@@ -191,7 +210,7 @@ func (t *Thread) takeFrame(n int) *Frame {
 		f.locals = f.locals[:0]
 		return f
 	}
-	return &Frame{slots: make([]uint64, n)}
+	return &Frame{slots: make([]uint64, n), owner: t}
 }
 
 // PopFrame pops the most recent frame and returns it to the pool.
@@ -205,6 +224,9 @@ func (t *Thread) PopFrame() {
 	f := t.frames[n-1]
 	t.frames[n-1] = nil
 	t.frames = t.frames[:n-1]
+	if t.rec != nil {
+		t.rec.Pop()
+	}
 	t.endOp()
 	if len(t.pool) < maxFramePool {
 		t.pool = append(t.pool, f)
@@ -246,8 +268,16 @@ func (t *Thread) root(r heap.Ref) heap.Ref {
 // live on heap reference fields.
 func (f *Frame) Get(i int) heap.Ref { return heap.Ref(atomic.LoadUint64(&f.slots[i])) }
 
-// Set writes a local slot.
-func (f *Frame) Set(i int, r heap.Ref) { atomic.StoreUint64(&f.slots[i], uint64(r.Untagged())) }
+// Set writes a local slot. When the owning thread's VM is recording, the
+// write happens inside a critical region so the recorded event cannot race
+// a stop-the-world drain; otherwise it stays a single atomic store.
+func (f *Frame) Set(i int, r heap.Ref) {
+	if t := f.owner; t != nil && t.rec != nil {
+		t.recordFrameSet(f, i, r)
+		return
+	}
+	atomic.StoreUint64(&f.slots[i], uint64(r.Untagged()))
+}
 
 // Len returns the frame's slot count.
 func (f *Frame) Len() int { return len(f.slots) }
@@ -325,6 +355,9 @@ func (t *Thread) New(class heap.ClassID, opts ...heap.AllocOption) heap.Ref {
 	ref, err := v.heap.AllocateCtx(&t.alloc, class, opts...)
 	if err == nil {
 		t.root(ref)
+		if t.rec != nil {
+			t.recordAlloc(class, opts, ref)
+		}
 		t.endOp()
 		if v.opts.Generational && v.nurseryFull() {
 			v.maybeMinorCollect()
@@ -350,6 +383,11 @@ func (t *Thread) Load(a heap.Ref, slot int) heap.Ref {
 	v := t.vm
 	t.loads.Add(1)
 	t.beginOp()
+	if t.rec != nil {
+		// Record before the barrier so a poison-trapping load is the last
+		// event on its stream — replay reproduces the trap at the same op.
+		t.rec.Load(uint64(a.ID()), slot)
+	}
 	src := t.deref(a)
 	if uint(slot) >= uint(src.NumRefs()) {
 		t.trapBadSlot(src.Class(), src.NumRefs(), slot)
@@ -434,6 +472,9 @@ func (t *Thread) barrierColdPath(src *heap.Object, srcID heap.ObjectID, slot int
 func (t *Thread) Store(a heap.Ref, slot int, val heap.Ref) {
 	v := t.vm
 	t.beginOp()
+	if t.rec != nil {
+		t.rec.Store(uint64(a.ID()), slot, uint64(val.ID()))
+	}
 	src := t.deref(a)
 	if uint(slot) >= uint(src.NumRefs()) {
 		t.trapBadSlot(src.Class(), src.NumRefs(), slot)
@@ -491,6 +532,9 @@ func (t *Thread) LoadGlobal(g int) heap.Ref {
 	if uint(g) >= uint(len(v.globals)) {
 		t.trapBadGlobal(g)
 	}
+	if t.rec != nil {
+		t.rec.LoadGlobal(g)
+	}
 	r := t.root(heap.Ref(atomic.LoadUint64(&v.globals[g])))
 	t.endOp()
 	return r
@@ -502,6 +546,9 @@ func (t *Thread) StoreGlobal(g int, r heap.Ref) {
 	t.beginOp()
 	if uint(g) >= uint(len(v.globals)) {
 		t.trapBadGlobal(g)
+	}
+	if t.rec != nil {
+		t.rec.StoreGlobal(g, uint64(r.ID()))
 	}
 	atomic.StoreUint64(&v.globals[g], uint64(r.Untagged()))
 	t.endOp()

@@ -14,6 +14,7 @@ import (
 	"leakpruning/internal/heap"
 	"leakpruning/internal/obs"
 	"leakpruning/internal/offload"
+	"leakpruning/internal/trace"
 	"leakpruning/internal/vmerrors"
 )
 
@@ -140,8 +141,8 @@ type VM struct {
 
 	// inj is the fault injector shared with the heap, collector, edge
 	// table, and offloader (nil: injection disabled).
-	inj             *faultinject.Injector
-	finalizerPanics atomic.Uint64
+	inj                *faultinject.Injector
+	finalizerPanics    atomic.Uint64
 	lastFinalizerPanic atomic.Value // string
 
 	// auditMu guards the most recent invariant-audit report.
@@ -189,6 +190,13 @@ type VM struct {
 	gcTimeNanos atomic.Int64
 	finalizersN atomic.Uint64
 
+	// recorder is the allocation-trace recorder (nil when recording is
+	// off; all its methods are nil-safe). Mutator events flow through
+	// per-thread streams (Thread.rec); the VM itself records class and
+	// global definitions, collector frees, and GC-cycle outcomes, and
+	// drains the streams at every stop-the-world (preparePlan).
+	recorder *trace.Recorder
+
 	// Observability handles (all nil when Options.Obs is nil; every method
 	// on them is nil-safe, so instrumentation sites stay unconditional and
 	// cost one branch when disabled). Per-thread trace rings live on
@@ -227,6 +235,8 @@ func New(opts Options) *VM {
 		inj:           opts.FaultInjector,
 	}
 	v.world.init(opts.WorldLock)
+	v.recorder = opts.TraceRecorder
+	v.recorder.SetFingerprint(opts.Fingerprint())
 	v.collector = gc.NewCollector(v.heap, (*rootVisitor)(v), opts.GCWorkers)
 	v.heap.SetFaultInjector(v.inj)
 	v.collector.SetFaultInjector(v.inj)
@@ -294,7 +304,9 @@ func New(opts Options) *VM {
 
 // DefineClass registers a class with default shape and returns its ID.
 func (v *VM) DefineClass(name string, refSlots, scalarBytes int) heap.ClassID {
-	return v.classes.Define(name, refSlots, scalarBytes)
+	id := v.classes.Define(name, refSlots, scalarBytes)
+	v.recorder.DefineClass(uint32(id), name, refSlots, scalarBytes)
+	return id
 }
 
 // Classes exposes the class registry.
@@ -395,7 +407,9 @@ func (v *VM) AddGlobal() int {
 	v.globalMu.Lock()
 	defer v.globalMu.Unlock()
 	v.globals = append(v.globals, 0)
-	return len(v.globals) - 1
+	idx := len(v.globals) - 1
+	v.recorder.AddGlobal(idx)
+	return idx
 }
 
 // SetFinalizer registers fn to run when the object behind r is collected —
@@ -587,8 +601,10 @@ func (v *VM) preparePlan() gc.Plan {
 	v.flushTLABs()
 	// The world is stopped: no thread is inside a critical region, so every
 	// per-thread trace ring is safe to drain into the sink (nil-safe no-op
-	// when tracing is off).
+	// when tracing is off). The allocation-trace streams follow the same
+	// discipline.
 	v.obsTracer.DrainAll()
+	v.recorder.DrainAll()
 	plan := v.ctrl.PlanCycle()
 	// Stale counters measure program time, not collector invocations: a
 	// collection that ran with no allocation since the previous one (a
@@ -662,6 +678,16 @@ func (v *VM) finishCollect(res gc.Result, priorPauses []time.Duration, pauseStar
 	if v.opts.HashLiveSet {
 		liveHash = liveSetHash(v.heap)
 	}
+	v.recorder.GCCycle(trace.GCInfo{
+		Index:      res.Index,
+		Mode:       uint8(res.Mode),
+		State:      uint8(v.ctrl.State()),
+		BytesLive:  hs.BytesUsed,
+		Candidates: res.Candidates,
+		Pruned:     res.PrunedRefs,
+		Degraded:   res.Degraded,
+		LiveHash:   liveHash,
+	})
 	if v.opts.OnGC != nil {
 		v.opts.OnGC(Event{Result: res, Heap: hs, State: v.ctrl.State(), Pauses: pauses, LiveHash: liveHash})
 	}
@@ -746,6 +772,7 @@ func fmtBytes(b uint64) string {
 }
 
 func (v *VM) runFinalizer(id heap.ObjectID, class heap.ClassID, size uint64) {
+	v.recorder.Free(uint64(id))
 	v.finalMu.Lock()
 	fn, ok := v.finalizers[id]
 	if ok {
@@ -806,10 +833,12 @@ func (v *VM) allocSlow(t *Thread, class heap.ClassID, opts []heap.AllocOption, s
 	prevState := v.ctrl.State()
 	for i := 0; i < absoluteGCBound; i++ {
 		if ref, err := v.heap.AllocateCtx(&t.alloc, class, opts...); err == nil {
+			t.recordAlloc(class, opts, ref)
 			return t.root(ref)
 		}
 		res := v.collectLocked()
 		if ref, err := v.heap.AllocateCtx(&t.alloc, class, opts...); err == nil {
+			t.recordAlloc(class, opts, ref)
 			return t.root(ref)
 		}
 		progressed := res.BytesFreed > 0 || res.PrunedRefs > 0 || v.lastOffloaded > 0 || v.ctrl.State() != prevState
@@ -837,6 +866,11 @@ func (v *VM) allocSlow(t *Thread, class heap.ClassID, opts []heap.AllocOption, s
 		}
 		break
 	}
+	// Record the exhausting allocation before throwing: the replayer
+	// re-attempts it so a replay under the recorded policy reproduces the
+	// OOM tail (the fruitless collections above happened as a consequence
+	// of this one op), while a policy that prunes more simply satisfies it.
+	t.recordAllocFail(class, opts)
 	oom := v.ctrl.MakeOOM(v.heap.Stats(), size, v.collector.Index())
 	vmerrors.Throw(oom)
 	panic("unreachable")

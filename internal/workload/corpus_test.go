@@ -1,0 +1,100 @@
+package workload_test
+
+import (
+	"errors"
+	"testing"
+
+	"leakpruning/internal/harness"
+	"leakpruning/internal/workload"
+)
+
+// reasonOutcome maps a harness end reason onto a corpus outcome.
+func reasonOutcome(r harness.EndReason) workload.Outcome {
+	switch r {
+	case harness.EndOOM:
+		return workload.OutcomeOOM
+	case harness.EndPoisonTrap:
+		return workload.OutcomeTrap
+	default:
+		return workload.OutcomeSurvives
+	}
+}
+
+// TestCorpusRegistry: the taxonomy corpus covers all four leak families and
+// every entry declares outcomes for the three policies plus "off".
+func TestCorpusRegistry(t *testing.T) {
+	corpus := workload.Corpus()
+	if len(corpus) != 4 {
+		t.Fatalf("corpus has %d entries, want 4: %+v", len(corpus), corpus)
+	}
+	seen := map[workload.Taxonomy]bool{}
+	for _, e := range corpus {
+		seen[e.Taxonomy] = true
+		for _, pol := range []string{"off", "default", "most-stale", "indiv-refs"} {
+			if _, ok := e.Expected[pol]; !ok {
+				t.Errorf("%s: no expected outcome for policy %q", e.Name, pol)
+			}
+		}
+		if _, err := workload.New(e.Name); err != nil {
+			t.Errorf("corpus entry %s not in the program registry: %v", e.Name, err)
+		}
+	}
+	for _, tax := range []workload.Taxonomy{
+		workload.TaxCollection, workload.TaxListener,
+		workload.TaxCache, workload.TaxThreadLocal,
+	} {
+		if !seen[tax] {
+			t.Errorf("taxonomy class %s has no corpus program", tax)
+		}
+	}
+}
+
+// TestCorpusOutcomes: each corpus program ends the way its registration
+// promises under every policy — the corpus version of Table 2, with the
+// registration table as the single source of truth.
+func TestCorpusOutcomes(t *testing.T) {
+	for _, e := range workload.Corpus() {
+		for pol, want := range e.Expected {
+			e, pol, want := e, pol, want
+			t.Run(e.Name+"/"+pol, func(t *testing.T) {
+				t.Parallel()
+				res, err := harness.Run(harness.Config{
+					Program:  e.Name,
+					Policy:   pol,
+					MaxIters: 2000,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := reasonOutcome(res.Reason); got != want {
+					t.Fatalf("%s under %s: %s (reason %s at iter %d), registered outcome %s",
+						e.Name, pol, got, res.Reason, res.Iterations, want)
+				}
+				// Survival under a pruning policy must be earned: the run
+				// has to outlive the no-pruning baseline by an actual PRUNE.
+				if want == workload.OutcomeSurvives && pol != "off" && len(res.Prunes) == 0 {
+					t.Errorf("%s under %s survived without a single prune — not leaking hard enough", e.Name, pol)
+				}
+			})
+		}
+	}
+}
+
+// TestRegisterDuplicateTyped: registering a taken name fails with
+// *DuplicateProgramError and leaves the registry untouched.
+func TestRegisterDuplicateTyped(t *testing.T) {
+	err := workload.Register("listleak", false, func() workload.Program { return nil })
+	if err == nil {
+		t.Fatal("duplicate registration succeeded")
+	}
+	var dup *workload.DuplicateProgramError
+	if !errors.As(err, &dup) {
+		t.Fatalf("err = %v (%T), want *DuplicateProgramError", err, err)
+	}
+	if dup.Name != "listleak" {
+		t.Errorf("dup.Name = %q, want listleak", dup.Name)
+	}
+	if p, err := workload.New("listleak"); err != nil || p == nil || p.Name() != "listleak" {
+		t.Errorf("registry entry damaged by rejected registration: %v, %v", p, err)
+	}
+}

@@ -46,15 +46,35 @@ type Factory func() Program
 var registry = map[string]Factory{}
 var leakNames []string
 
-// register adds a program factory under its name; leak marks it as one of
-// the Table 1 leaks (in paper order).
-func register(name string, leak bool, f Factory) {
+// DuplicateProgramError reports an attempt to register a program under a
+// name that is already taken.
+type DuplicateProgramError struct {
+	Name string
+}
+
+func (e *DuplicateProgramError) Error() string {
+	return fmt.Sprintf("workload: duplicate program %q", e.Name)
+}
+
+// Register adds a program factory under its name, rejecting duplicates with
+// a *DuplicateProgramError. leak marks it as one of the Table 1 leaks (in
+// paper order).
+func Register(name string, leak bool, f Factory) error {
 	if _, dup := registry[name]; dup {
-		panic(fmt.Sprintf("workload: duplicate program %q", name))
+		return &DuplicateProgramError{Name: name}
 	}
 	registry[name] = f
 	if leak {
 		leakNames = append(leakNames, name)
+	}
+	return nil
+}
+
+// register is the init-time registration path: a duplicate name here is a
+// programmer error, so it panics with the typed error.
+func register(name string, leak bool, f Factory) {
+	if err := Register(name, leak, f); err != nil {
+		panic(err)
 	}
 }
 
@@ -79,6 +99,56 @@ func Names() []string {
 
 // LeakNames lists the Table 1 leak programs in the paper's order.
 func LeakNames() []string { return append([]string(nil), leakNames...) }
+
+// Taxonomy names one of the structural leak families of the trace corpus
+// (the classic leak taxonomy: how the program loses track of the memory,
+// rather than which application exhibited it).
+type Taxonomy string
+
+const (
+	// TaxCollection: elements logically removed from a growing collection
+	// but physically retained.
+	TaxCollection Taxonomy = "collection-mishandling"
+	// TaxListener: observers registered and never deregistered.
+	TaxListener Taxonomy = "listener-observer"
+	// TaxCache: a memoizing cache with no eviction policy.
+	TaxCache Taxonomy = "cache-without-eviction"
+	// TaxThreadLocal: per-thread state that outlives the work it served.
+	TaxThreadLocal Taxonomy = "thread-local"
+)
+
+// Outcome is the expected end state of a corpus program under a policy.
+type Outcome string
+
+const (
+	// OutcomeSurvives: the program runs to its iteration cap.
+	OutcomeSurvives Outcome = "survives"
+	// OutcomeOOM: the program exhausts memory.
+	OutcomeOOM Outcome = "oom"
+	// OutcomeTrap: a pruned reference is accessed (pruned-access death).
+	OutcomeTrap Outcome = "trap"
+)
+
+// CorpusEntry describes one taxonomy corpus program and its expected
+// per-policy outcomes (policy name → outcome), calibrated by the corpus
+// outcome tests.
+type CorpusEntry struct {
+	Name     string
+	Taxonomy Taxonomy
+	Expected map[string]Outcome
+}
+
+var corpus []CorpusEntry
+
+// Corpus lists the taxonomy corpus entries in registration order.
+func Corpus() []CorpusEntry { return append([]CorpusEntry(nil), corpus...) }
+
+// registerCorpus registers a corpus program (outside the Table 1 leak set)
+// together with its taxonomy class and expected outcomes.
+func registerCorpus(name string, tax Taxonomy, expected map[string]Outcome, f Factory) {
+	register(name, false, f)
+	corpus = append(corpus, CorpusEntry{Name: name, Taxonomy: tax, Expected: expected})
+}
 
 // churn allocates n short-lived objects of the given class and drops them,
 // modelling the transient allocation every managed program performs
