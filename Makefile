@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet cover fuzz-smoke trace-smoke bench-smoke bench-phases bench-mutator bench-pause bench-jit chaos chaos-smoke leakd-smoke leakd-demo leakd-soak
+.PHONY: all build test race vet cover fuzz-smoke trace-smoke bench-smoke bench-phases bench-mutator bench-pause bench-jit bench-leakd chaos chaos-smoke leakd-smoke leakd-demo leakd-soak loadgen-smoke
 
 all: build test vet
 
@@ -61,6 +61,7 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench='BenchmarkMutatorOps' -benchtime=1x ./internal/vm
 	$(GO) run ./cmd/pausebench -o /dev/null -iters 3000 -repeat 1 -assert-speedup 5
 	$(GO) run ./cmd/overheadbench -elision -methods 4 -ops 120 -reps 2 -o /dev/null
+	$(GO) run ./cmd/loadgen -warmup 1s -duration 4s -assert-speedup 3 -o /dev/null
 
 # Refresh the per-phase baseline JSON.
 bench-phases:
@@ -107,6 +108,21 @@ leakd-demo:
 
 # Budget-holding soak: >= 60s of 4-tenant traffic with one leaky tenant
 # cycling through eviction and re-admission; fails if resident bytes ever
-# exceed the budget or the ladder never reaches eviction.
+# exceed the budget, the ladder never reaches eviction, or the /pressure
+# per-ladder-level latency SLOs are missing a baseline p99 or any
+# degraded-level attribution.
 leakd-soak:
 	$(GO) run ./cmd/leakd -soak -addr 127.0.0.1:0 -duration 60s
+
+# Load-generator smoke gate: a short closed-loop run (in-process daemon,
+# serial + pipelined phases) that must find lp_request_latency_ns on
+# /metrics, record both request profiles in both phases, and keep the
+# pipelined small-request p99 under a sane bound. No speedup assertion —
+# that is bench-smoke's job; this proves the harness itself works.
+loadgen-smoke:
+	$(GO) run ./cmd/loadgen -warmup 500ms -duration 2s -max-p99 2s -o /dev/null
+
+# Refresh the checked-in latency baseline (serial + pipelined phases with
+# the serial numbers embedded as the comparison base).
+bench-leakd:
+	$(GO) run ./cmd/loadgen -warmup 2s -duration 8s -assert-speedup 3 -o results/BENCH_leakd_latency.json

@@ -30,7 +30,9 @@ const (
 )
 
 // leakdScenarioNames lists the daemon scenarios in report order.
-func leakdScenarioNames() []string { return []string{"leakd-evict", "leakd-quarantine"} }
+func leakdScenarioNames() []string {
+	return []string{"leakd-evict", "leakd-quarantine", "pipeline-isolation"}
+}
 
 // leakdCell runs one daemon campaign cell and returns the sibling hash
 // logs plus a partially filled record (evictions, quarantines, audits).
@@ -157,6 +159,10 @@ func runLeakdScenarios(seeds int, verbose bool) []runRecord {
 	}
 	var recs []runRecord
 	for _, name := range leakdScenarioNames() {
+		if name == "pipeline-isolation" {
+			recs = append(recs, runPipelineIsolation(seeds, verbose)...)
+			continue
+		}
 		// One control per scenario: no faults anywhere, same schedule.
 		controlHashes, controlRec, err := leakdCell(name, 1, false)
 		if err != nil {

@@ -298,7 +298,8 @@ func runSoak(s *server.Server, base string, d time.Duration) int {
 		return 1
 	}
 	var pr struct {
-		MaxPauseByMode map[string]int64 `json:"max_pause_ns_by_mode"`
+		MaxPauseByMode map[string]int64             `json:"max_pause_ns_by_mode"`
+		LatencyByLevel map[string]server.LatencySLO `json:"request_latency_by_level"`
 	}
 	if jerr := json.Unmarshal([]byte(pressure), &pr); jerr != nil {
 		log.Printf("SOAK FAIL: /pressure decode: %v", jerr)
@@ -311,8 +312,31 @@ func runSoak(s *server.Server, base string, d time.Duration) int {
 			return 1
 		}
 	}
-	log.Printf("leakd: soak ok — %d probes over %v, 0 over budget, max ladder level %d, %d evictions, per-mode pauses %v",
-		probes, d, maxLevel, evictions, pr.MaxPauseByMode)
+	// The latency SLO ledger must have tracked the soak's pressure cycling:
+	// serving at baseline (level 0) with a sane p99, and at least one
+	// degraded ladder level with requests attributed to it — otherwise the
+	// per-level breakdown is decoration, not an SLO.
+	l0, ok := pr.LatencyByLevel["0"]
+	if !ok || l0.Count == 0 || l0.P99Ns <= 0 {
+		log.Printf("SOAK FAIL: /pressure request_latency_by_level[\"0\"] = %+v; baseline requests must be tracked", l0)
+		return 1
+	}
+	if l0.P99Ns > int64(30*time.Second) {
+		log.Printf("SOAK FAIL: level-0 request p99 %v is beyond any plausible SLO", time.Duration(l0.P99Ns))
+		return 1
+	}
+	degraded := uint64(0)
+	for level, slo := range pr.LatencyByLevel {
+		if level != "0" {
+			degraded += slo.Count
+		}
+	}
+	if degraded == 0 {
+		log.Printf("SOAK FAIL: no requests attributed to degraded ladder levels despite max level %d", maxLevel)
+		return 1
+	}
+	log.Printf("leakd: soak ok — %d probes over %v, 0 over budget, max ladder level %d, %d evictions, per-mode pauses %v, level-0 p99 %v over %d requests (%d degraded-level requests)",
+		probes, d, maxLevel, evictions, pr.MaxPauseByMode, time.Duration(l0.P99Ns), l0.Count, degraded)
 	return 0
 }
 

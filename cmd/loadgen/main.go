@@ -1,0 +1,444 @@
+// Command loadgen is a wrk-style closed-loop HTTP load generator for
+// leakd. It drives one benchmark tenant with C concurrent connections
+// issuing a mix of small and large requests (both iterations of the
+// unbounded-queue corpus leak — the large profile is exactly the kind of
+// long call that starves small requests of a serial pipeline), records
+// per-profile latency in an HDR-style log-linear histogram over a warmup
+// plus measurement window, and runs the whole experiment twice: once
+// against the serial request pipeline (the baseline) and once against the
+// concurrent worker-pool pipeline. The emitted JSON therefore carries its
+// own serial baseline, and the headline number is the small-request p99
+// improvement — the head-of-line-blocking win the pipeline exists for.
+//
+// Usage:
+//
+//	loadgen -conns 8 -warmup 2s -duration 8s -o results/BENCH_leakd_latency.json
+//	loadgen -duration 2s -assert-speedup 3          # the bench-smoke gate
+//	loadgen -url http://127.0.0.1:8080 ...          # aim at a running leakd
+//
+// With -url empty (the default) an in-process daemon is spawned on a
+// loopback port, so the benchmark is self-contained.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/bits"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"leakpruning/internal/obs"
+	"leakpruning/internal/server"
+)
+
+func main() {
+	var (
+		url       = flag.String("url", "", "base URL of a running leakd (empty = spawn one in-process)")
+		conns     = flag.Int("conns", 8, "concurrent closed-loop connections")
+		warmup    = flag.Duration("warmup", 2*time.Second, "per-phase warmup window (not recorded)")
+		duration  = flag.Duration("duration", 8*time.Second, "per-phase measurement window")
+		smallIt   = flag.Int("small-iters", 1, "iterations per small request")
+		largeIt   = flag.Int("large-iters", 2000, "iterations per large request")
+		largeFrac = flag.Float64("large-frac", 0.25, "fraction of requests using the large profile")
+		workers   = flag.Int("workers", 0, "concurrent-phase pipeline workers (0 = conns)")
+		qdepth    = flag.Int("queue-depth", 0, "concurrent-phase queue depth (0 = 4*workers)")
+		heapMB    = flag.Float64("heap", 16, "benchmark tenant heap in MiB")
+		seed      = flag.Uint64("seed", 1, "profile-mix RNG seed")
+		out       = flag.String("o", "results/BENCH_leakd_latency.json", "report path")
+		assertX   = flag.Float64("assert-speedup", 0, "fail unless small-request p99 improves by at least this factor (0 = off)")
+		maxP99    = flag.Duration("max-p99", 0, "fail if the concurrent phase's small p99 exceeds this (0 = off)")
+	)
+	flag.Parse()
+
+	base := *url
+	var s *server.Server
+	if base == "" {
+		cfg := server.Config{
+			Budget:         256 << 20,
+			RequestTimeout: 60 * time.Second,
+			Obs:            obs.New(),
+		}
+		var err error
+		s, err = server.New(cfg)
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("loadgen: listen: %v", err)
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		defer func() { _ = hs.Close(); _, _ = s.Shutdown() }()
+		base = "http://" + ln.Addr().String()
+		log.Printf("loadgen: spawned in-process leakd on %s", base)
+	}
+
+	w := *workers
+	if w == 0 {
+		w = *conns
+	}
+	cfg := benchConfig{
+		Conns:      *conns,
+		WarmupS:    warmup.Seconds(),
+		DurationS:  duration.Seconds(),
+		Workload:   "queueleak",
+		SmallIters: *smallIt,
+		LargeIters: *largeIt,
+		LargeFrac:  *largeFrac,
+		Workers:    w,
+		QueueDepth: *qdepth,
+		HeapBytes:  uint64(*heapMB * float64(1<<20)),
+		Seed:       *seed,
+	}
+
+	serial, err := runPhase(base, cfg, false)
+	if err != nil {
+		log.Fatalf("loadgen: serial phase: %v", err)
+	}
+	conc, err := runPhase(base, cfg, true)
+	if err != nil {
+		log.Fatalf("loadgen: concurrent phase: %v", err)
+	}
+
+	// The daemon must be exporting the per-request latency series this
+	// whole experiment is built on.
+	metrics, err := get(base + "/metrics")
+	if err != nil {
+		log.Fatalf("loadgen: scrape /metrics: %v", err)
+	}
+	if !strings.Contains(metrics, "lp_request_latency_ns") {
+		log.Fatalf("loadgen: /metrics is missing lp_request_latency_ns")
+	}
+
+	rep := benchReport{Config: cfg, Phases: map[string]phaseResult{"serial": serial, "concurrent": conc}}
+	if sp99 := serial.Profiles["small"].P99Ns; sp99 > 0 && conc.Profiles["small"].P99Ns > 0 {
+		rep.SmallP99Speedup = round2(float64(sp99) / float64(conc.Profiles["small"].P99Ns))
+	}
+	if err := writeReport(*out, rep); err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	log.Printf("loadgen: small p99 %.2fms serial -> %.2fms concurrent (%.2fx); large p99 %.2fms -> %.2fms",
+		ms(serial.Profiles["small"].P99Ns), ms(conc.Profiles["small"].P99Ns), rep.SmallP99Speedup,
+		ms(serial.Profiles["large"].P99Ns), ms(conc.Profiles["large"].P99Ns))
+
+	if *maxP99 > 0 && conc.Profiles["small"].P99Ns > int64(*maxP99) {
+		log.Fatalf("loadgen: FAIL: concurrent small p99 %v exceeds bound %v",
+			time.Duration(conc.Profiles["small"].P99Ns), *maxP99)
+	}
+	if *assertX > 0 && rep.SmallP99Speedup < *assertX {
+		log.Fatalf("loadgen: FAIL: small-request p99 speedup %.2fx below the required %.2fx",
+			rep.SmallP99Speedup, *assertX)
+	}
+}
+
+type benchConfig struct {
+	Conns      int     `json:"conns"`
+	WarmupS    float64 `json:"warmup_s"`
+	DurationS  float64 `json:"duration_s"`
+	Workload   string  `json:"workload"`
+	SmallIters int     `json:"small_iters"`
+	LargeIters int     `json:"large_iters"`
+	LargeFrac  float64 `json:"large_frac"`
+	Workers    int     `json:"workers"`
+	QueueDepth int     `json:"queue_depth"`
+	HeapBytes  uint64  `json:"heap_bytes"`
+	Seed       uint64  `json:"seed"`
+}
+
+type profileResult struct {
+	Count uint64  `json:"count"`
+	MeanNs int64  `json:"mean_ns"`
+	P50Ns int64   `json:"p50_ns"`
+	P95Ns int64   `json:"p95_ns"`
+	P99Ns int64   `json:"p99_ns"`
+	MaxNs int64   `json:"max_ns"`
+}
+
+type phaseResult struct {
+	Pipeline      string                   `json:"pipeline"`
+	Requests      uint64                   `json:"requests"`
+	Errors        uint64                   `json:"errors"`
+	Shed          uint64                   `json:"shed_429"`
+	ThroughputRPS float64                  `json:"throughput_rps"`
+	Profiles      map[string]profileResult `json:"profiles"`
+}
+
+type benchReport struct {
+	Config          benchConfig            `json:"config"`
+	Phases          map[string]phaseResult `json:"phases"`
+	SmallP99Speedup float64                `json:"small_p99_speedup"`
+}
+
+// runPhase admits a fresh benchmark tenant (serial or pipelined), runs the
+// closed loop against it, and evicts it on the way out so phases cannot
+// contaminate each other.
+func runPhase(base string, cfg benchConfig, pipelined bool) (phaseResult, error) {
+	name, label := "bench-serial", server.PipelineSerial
+	tc := server.TenantConfig{Name: name, Workload: cfg.Workload, Policy: "default", HeapLimit: cfg.HeapBytes}
+	if pipelined {
+		name, label = "bench-conc", server.PipelineConcurrent
+		tc.Name = name
+		tc.Pipeline = server.PipelineConcurrent
+		tc.Workers = cfg.Workers
+		tc.QueueDepth = cfg.QueueDepth
+	}
+	res := phaseResult{Pipeline: label}
+	if err := admit(base, tc); err != nil {
+		return res, err
+	}
+	defer evict(base, name)
+	log.Printf("loadgen: phase %s: %d conns, warmup %.1fs + measure %.1fs", label, cfg.Conns, cfg.WarmupS, cfg.DurationS)
+
+	type connStats struct {
+		small, large *hdrHist
+		requests     uint64
+		errors       uint64
+		shed         uint64
+	}
+	stats := make([]connStats, cfg.Conns)
+	warmupOver := time.Now().Add(time.Duration(cfg.WarmupS * float64(time.Second)))
+	stop := warmupOver.Add(time.Duration(cfg.DurationS * float64(time.Second)))
+
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			st := &stats[c]
+			st.small, st.large = newHDR(), newHDR()
+			// One transport per connection, wrk-style: each closed loop owns
+			// its TCP connection and issues its next request the moment the
+			// previous response lands.
+			client := &http.Client{
+				Transport: &http.Transport{MaxIdleConnsPerHost: 1},
+				Timeout:   90 * time.Second,
+			}
+			rng := splitmix64(cfg.Seed + uint64(c)*0x9e3779b97f4a7c15)
+			for time.Now().Before(stop) {
+				iters, hist := cfg.SmallIters, st.small
+				if float64(rng.next()>>11)/float64(1<<53) < cfg.LargeFrac {
+					iters, hist = cfg.LargeIters, st.large
+				}
+				t0 := time.Now()
+				status, err := post(client, fmt.Sprintf("%s/tenants/%s/run?iters=%d", base, name, iters))
+				lat := time.Since(t0)
+				if !t0.After(warmupOver) {
+					continue
+				}
+				st.requests++
+				switch {
+				case err != nil:
+					st.errors++
+				case status == http.StatusTooManyRequests:
+					st.shed++
+				case status != http.StatusOK:
+					st.errors++
+				default:
+					hist.record(uint64(lat.Nanoseconds()))
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	small, large := newHDR(), newHDR()
+	for i := range stats {
+		res.Requests += stats[i].requests
+		res.Errors += stats[i].errors
+		res.Shed += stats[i].shed
+		small.merge(stats[i].small)
+		large.merge(stats[i].large)
+	}
+	res.ThroughputRPS = round2(float64(res.Requests) / cfg.DurationS)
+	res.Profiles = map[string]profileResult{
+		"small": small.summary(),
+		"large": large.summary(),
+	}
+	if small.total == 0 || large.total == 0 {
+		return res, fmt.Errorf("phase %s recorded %d small / %d large samples; windows too short for the mix",
+			label, small.total, large.total)
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// HDR-style log-linear histogram: 32 sub-buckets per power of two keeps
+// relative error ~3% across nanosecond-to-minute latencies in 2 KiB.
+
+const hdrSubBits = 5
+
+type hdrHist struct {
+	counts []uint64
+	total  uint64
+	sum    uint64
+	max    uint64
+}
+
+func newHDR() *hdrHist { return &hdrHist{counts: make([]uint64, 64<<hdrSubBits)} }
+
+func hdrIndex(v uint64) int {
+	const sub = 1 << hdrSubBits
+	if v < sub {
+		return int(v)
+	}
+	msb := bits.Len64(v) - 1
+	return sub*(msb-hdrSubBits) + int(v>>(uint(msb)-hdrSubBits))
+}
+
+// hdrValue returns the midpoint of bucket idx (inverse of hdrIndex).
+func hdrValue(idx int) uint64 {
+	const sub = 1 << hdrSubBits
+	if idx < 2*sub {
+		return uint64(idx)
+	}
+	bucket := idx/sub - 1
+	lo := uint64(sub+idx%sub) << uint(bucket)
+	return lo + (uint64(1)<<uint(bucket))/2
+}
+
+func (h *hdrHist) record(v uint64) {
+	h.counts[hdrIndex(v)]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+func (h *hdrHist) merge(o *hdrHist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+func (h *hdrHist) quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := q * float64(h.total)
+	cum := 0.0
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += float64(c)
+		if cum >= rank {
+			v := hdrValue(i)
+			if v > h.max {
+				v = h.max
+			}
+			return int64(v)
+		}
+	}
+	return int64(h.max)
+}
+
+func (h *hdrHist) summary() profileResult {
+	out := profileResult{Count: h.total, MaxNs: int64(h.max)}
+	if h.total > 0 {
+		out.MeanNs = int64(h.sum / h.total)
+		out.P50Ns = h.quantile(0.50)
+		out.P95Ns = h.quantile(0.95)
+		out.P99Ns = h.quantile(0.99)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+
+type splitmixState uint64
+
+func splitmix64(seed uint64) *splitmixState { s := splitmixState(seed); return &s }
+
+func (s *splitmixState) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func admit(base string, tc server.TenantConfig) error {
+	body, err := json.Marshal(tc)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/tenants", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("admit %s: status %d: %s", tc.Name, resp.StatusCode, b)
+	}
+	return nil
+}
+
+func evict(base string, name string) {
+	req, _ := http.NewRequest(http.MethodDelete, base+"/tenants/"+name, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+func post(client *http.Client, url string) (int, error) {
+	resp, err := client.Post(url, "application/json", nil)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+func get(url string) (string, error) {
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return string(b), fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return string(b), nil
+}
+
+func writeReport(path string, rep benchReport) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func ms(ns int64) float64 { return float64(ns) / 1e6 }
+
+func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }

@@ -292,7 +292,7 @@ func (h *Heap) allocate(ctx *AllocContext, class ClassID, opts []AllocOption) (R
 
 	id, obj, si := h.takeSlot(preferred) // returns with the shard's lock held
 	s := &h.shards[si]
-	obj.class = class
+	atomic.StoreUint32((*uint32)(&obj.class), uint32(class))
 	atomic.StoreUint32(&obj.stale, 0)
 	var flags uint32
 	if generational {
@@ -512,7 +512,7 @@ func (h *Heap) freeLocked(s *shard, id ObjectID, obj *Object) uint64 {
 	s.objectsFreed++
 	s.objectsUsed--
 	obj.setSize(0)
-	obj.class = 0
+	atomic.StoreUint32((*uint32)(&obj.class), 0)
 	obj.refs = obj.refs[:0]
 	atomic.StoreUint32(&obj.flags, 0)
 	atomic.StoreUint32(&obj.stale, 0)

@@ -20,6 +20,10 @@ const MaxStale = 7
 // word is claimed by CAS during parallel tracing. Everything else is
 // immutable after allocation.
 type Object struct {
+	// class is accessed atomically: a slot being recycled by a background
+	// free (FreeBatch) is still reachable through warm chunk caches, and a
+	// cached probe that won the liveness check may read the class word
+	// while the sweeper clears it.
 	class ClassID
 	// stale is the 3-bit logarithmic stale counter, widened to a uint32 so
 	// it can be manipulated with sync/atomic. Only values 0..MaxStale occur.
@@ -43,7 +47,7 @@ type Object struct {
 }
 
 // Class returns the object's class ID.
-func (o *Object) Class() ClassID { return o.class }
+func (o *Object) Class() ClassID { return ClassID(atomic.LoadUint32((*uint32)(&o.class))) }
 
 // Size returns the object's total simulated size in bytes.
 func (o *Object) Size() uint64 { return atomic.LoadUint64(&o.size) }

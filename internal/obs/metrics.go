@@ -153,7 +153,20 @@ var (
 	// per-object stale counter saturates at 8), so each level is counted
 	// exactly.
 	StaleAgeBuckets = []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	// LatencyBucketsNs covers 4µs .. ~17s in powers of two — fine enough
+	// (~1.5× between adjacent quantile estimates) for the p50/p95/p99
+	// request-latency aggregation on /pressure, and wide enough to hold a
+	// request that rode out a watchdog deadline.
+	LatencyBucketsNs = latencyBuckets()
 )
+
+func latencyBuckets() []uint64 {
+	out := make([]uint64, 0, 23)
+	for b := uint64(1) << 12; b <= 1<<34; b <<= 1 {
+		out = append(out, b)
+	}
+	return out
+}
 
 type metricKind int
 

@@ -104,6 +104,42 @@ func (e *RequestCancelledError) Error() string {
 	return fmt.Sprintf("server: tenant %q request cancelled after %d iterations (drain)", e.Tenant, e.IterationsDone)
 }
 
+// MaxRequestIters bounds a single request's iteration count at the
+// request boundary. A request above it is a malformed client, not a big
+// job: one million workload iterations is hours of single-tenant work,
+// far past any watchdog deadline.
+const MaxRequestIters = 1 << 20
+
+// RequestValidationError reports a request rejected before it reached a
+// tenant because its parameters are malformed (non-positive or absurdly
+// large iters). Maps to HTTP 400; it never counts against the tenant.
+type RequestValidationError struct {
+	Tenant string
+	// Iters is the rejected iteration count (0 when the value never
+	// parsed as an integer — see Detail).
+	Iters int
+	// Detail elaborates for humans.
+	Detail string
+}
+
+func (e *RequestValidationError) Error() string {
+	return fmt.Sprintf("server: invalid request for tenant %q: %s", e.Tenant, e.Detail)
+}
+
+// QueueFullError reports a request shed at a concurrent pipeline's bounded
+// queue: all K workers are busy and QueueDepth requests are already
+// waiting. Maps to HTTP 429 — the client should back off and retry; the
+// tenant is healthy, just saturated.
+type QueueFullError struct {
+	Tenant string
+	// Depth is the configured queue bound that was full.
+	Depth int
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("server: tenant %q request queue full (depth %d)", e.Tenant, e.Depth)
+}
+
 // ErrNotAccepting is wrapped by the AdmissionError returned while the
 // daemon is draining; errors.Is(err, ErrNotAccepting) spares clients the
 // reason-string comparison.

@@ -43,6 +43,9 @@ func (s *Server) Handler() http.Handler {
 			// operator's check that concurrent SELECT/PRUNE pauses stay in
 			// the microsecond range.
 			"max_pause_ns_by_mode": s.MaxPausesByMode(),
+			// Request-latency SLOs keyed by ladder level: the same budget
+			// pressure, measured in user-visible tail latency.
+			"request_latency_by_level": s.LatencySLOs(),
 		})
 	})
 	mux.HandleFunc("GET /tenants", func(w http.ResponseWriter, r *http.Request) {
@@ -78,16 +81,19 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"evicted": r.PathValue("name"), "audit_findings": len(findings)})
 	})
 	mux.HandleFunc("POST /tenants/{name}/run", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
 		iters := 1
 		if q := r.URL.Query().Get("iters"); q != "" {
 			n, err := strconv.Atoi(q)
-			if err != nil || n <= 0 {
-				writeError(w, http.StatusBadRequest, errors.New("iters must be a positive integer"))
+			if err != nil {
+				verr := &RequestValidationError{Tenant: name, Detail: "iters must be an integer, got " + strconv.Quote(q)}
+				writeError(w, statusFor(verr), verr)
 				return
 			}
+			// Range validation happens in RunRequest so every entry point
+			// (HTTP, loadgen-in-process, tests) shares one contract.
 			iters = n
 		}
-		name := r.PathValue("name")
 		done, err := s.RunRequest(name, iters)
 		if err != nil {
 			// Tenant-isolated failures are 200s with an error body: the
@@ -136,6 +142,14 @@ func statusFor(err error) int {
 		default: // budget-exceeded, overcommit-exceeded
 			return http.StatusInsufficientStorage
 		}
+	}
+	var ve *RequestValidationError
+	if errors.As(err, &ve) {
+		return http.StatusBadRequest
+	}
+	var qf *QueueFullError
+	if errors.As(err, &qf) {
+		return http.StatusTooManyRequests
 	}
 	var ue *UnknownTenantError
 	if errors.As(err, &ue) {

@@ -140,6 +140,10 @@ type Server struct {
 	gBudget       *obs.Gauge
 	gResident     *obs.Gauge
 	gTenants      *obs.Gauge
+
+	// slo aggregates per-request latency into the per-ladder-level
+	// summaries /pressure serves (slo.go).
+	slo sloState
 }
 
 // New builds a daemon from cfg and starts the budget prober when
@@ -162,6 +166,7 @@ func New(cfg Config) (*Server, error) {
 		tenants:   make(map[string]*Tenant),
 		stopProbe: make(chan struct{}),
 	}
+	s.slo.names = make(map[string]struct{})
 	reg := s.reg()
 	s.mAdmitted = reg.NewCounter("lp_tenants_admitted_total", "tenants admitted")
 	s.mRejected = reg.NewCounter("lp_admission_rejects_total", "tenant admissions rejected")
@@ -302,6 +307,11 @@ func (s *Server) RunRequest(name string, iters int) (int, error) {
 	s.inflight.Add(1)
 	s.drainMu.RUnlock()
 	defer s.inflight.Done()
+	if iters <= 0 || iters > MaxRequestIters {
+		s.mReqRejected.Inc()
+		return 0, &RequestValidationError{Tenant: name, Iters: iters,
+			Detail: fmt.Sprintf("iters must be in [1, %d], got %d", MaxRequestIters, iters)}
+	}
 	t := s.tenant(name)
 	if t == nil {
 		s.mReqRejected.Inc()
@@ -311,14 +321,23 @@ func (s *Server) RunRequest(name string, iters int) (int, error) {
 		s.mReqRejected.Inc()
 		return 0, &TenantUnavailableError{Tenant: name, State: st}
 	}
-	if iters <= 0 {
-		iters = 1
+	if t.pipelineHandle() != nil {
+		return s.runPipelined(t, iters)
 	}
+	return s.runSerial(t, iters)
+}
+
+// runSerial is the original exclusive-lock request path — one request at
+// a time per tenant — kept byte-for-byte in behavior as the equivalence
+// oracle for the concurrent pipeline.
+func (s *Server) runSerial(t *Tenant, iters int) (int, error) {
+	name := t.Config().Name
 	// The watchdog window covers lock wait plus execution: a tenant wedged
 	// by a sibling request's slowness is still a watchdog trip.
 	start := time.Now()
 	if !t.acquire(s.cfg.RequestTimeout) {
 		s.mReqTimeout.Inc()
+		s.observeLatency(t, start)
 		werr := &WatchdogTimeoutError{Tenant: name, Timeout: s.cfg.RequestTimeout}
 		t.recordOutcome(werr)
 		return 0, werr
@@ -348,22 +367,63 @@ func (s *Server) RunRequest(name string, iters int) (int, error) {
 	defer timer.Stop()
 	select {
 	case r := <-ch:
-		s.finishRequest(t, r.err)
+		s.finishRequest(t, r.err, t.sessionEpoch.Load(), false)
 		t.release()
+		s.observeLatency(t, start)
 		return r.done, r.err
 	case <-timer.C:
 		// The VM thread cannot be killed; ask for an iteration-boundary
 		// stop and hand the cleanup to a reaper so the caller gets its
 		// timeout now. The lock is NOT released until the request actually
-		// ends, so the tenant stays serialized.
+		// ends, so the tenant stays serialized. The reaper guarantees the
+		// late result always reaches finishRequest/recordOutcome — and
+		// marks it late, so a late SUCCESS cannot erase the watchdog fault
+		// recorded below from the consecutive-fault streak.
 		t.cancel.Store(true)
 		go func() {
 			r := <-ch
 			t.cancel.Store(false)
-			s.finishRequest(t, r.err)
+			s.finishRequest(t, r.err, t.sessionEpoch.Load(), true)
 			t.release()
 		}()
 		s.mReqTimeout.Inc()
+		s.observeLatency(t, start)
+		werr := &WatchdogTimeoutError{Tenant: name, Timeout: s.cfg.RequestTimeout}
+		t.recordOutcome(werr)
+		return 0, werr
+	}
+}
+
+// runPipelined dispatches the request onto the tenant's worker pool. The
+// watchdog window covers queue wait plus execution, mirroring the serial
+// path's lock-wait-plus-execution window.
+func (s *Server) runPipelined(t *Tenant, iters int) (int, error) {
+	name := t.Config().Name
+	req := &pipelineReq{iters: iters, enqueued: time.Now(), resp: make(chan pipelineResp, 1)}
+	p, err := t.enqueue(req)
+	if err != nil {
+		s.mReqRejected.Inc()
+		return 0, err
+	}
+	if p == nil {
+		// A rolling update reshaped the tenant to serial mid-dispatch.
+		return s.runSerial(t, iters)
+	}
+	t.requests.Add(1)
+	timer := time.NewTimer(s.cfg.RequestTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-req.resp:
+		s.observeLatency(t, req.enqueued)
+		return r.done, r.err
+	case <-timer.C:
+		// Abandon the request, never the bookkeeping: the worker cancels it
+		// at the next iteration boundary, records the late outcome, and its
+		// buffered response send completes without a reader.
+		req.timedOut.Store(true)
+		req.cancel.Store(true)
+		s.mReqTimeout.Inc()
+		s.observeLatency(t, req.enqueued)
 		werr := &WatchdogTimeoutError{Tenant: name, Timeout: s.cfg.RequestTimeout}
 		t.recordOutcome(werr)
 		return 0, werr
@@ -372,7 +432,12 @@ func (s *Server) RunRequest(name string, iters int) (int, error) {
 
 // finishRequest classifies a request outcome into metrics and fault
 // bookkeeping, restarting the tenant session after heap exhaustion.
-func (s *Server) finishRequest(t *Tenant, err error) {
+// epoch is the session epoch the request executed against (concurrent
+// workers hitting the same dead session must trigger ONE restart); late
+// marks an outcome whose caller already took a watchdog timeout, so a
+// late success must not reset the consecutive-fault streak that timeout
+// just started.
+func (s *Server) finishRequest(t *Tenant, err error, epoch int64, late bool) {
 	switch {
 	case err == nil:
 		s.mReqOK.Inc()
@@ -387,7 +452,7 @@ func (s *Server) finishRequest(t *Tenant, err error) {
 		// The session's heap is exhausted beyond what pruning could avert —
 		// the paper's program-termination outcome, scoped to one tenant.
 		// Restart the session so the slot keeps serving.
-		s.restartSession(t, err)
+		s.restartSession(t, err, epoch)
 	}
 	if isCancelErr(err) {
 		// Drain cancellation is the daemon's doing, not the tenant's fault:
@@ -395,12 +460,26 @@ func (s *Server) finishRequest(t *Tenant, err error) {
 		t.setLastErr(err)
 		return
 	}
+	if late && err == nil {
+		return
+	}
 	t.recordOutcome(err)
 }
 
 // restartSession rebuilds t's VM after exhaustion, with bounded backoff so
-// a tenant that instantly re-exhausts cannot spin the daemon.
-func (s *Server) restartSession(t *Tenant, cause error) {
+// a tenant that instantly re-exhausts cannot spin the daemon. epoch is
+// the session the failure came from: when K pipeline workers OOM on the
+// same session back to back, the first restart bumps the epoch and the
+// siblings' attempts turn into no-ops instead of discarding the fresh VM.
+func (s *Server) restartSession(t *Tenant, cause error, epoch int64) {
+	t.restartMu.Lock()
+	defer t.restartMu.Unlock()
+	if t.sessionEpoch.Load() != epoch {
+		return // a sibling worker already replaced this session
+	}
+	if st := t.State(); st == TenantEvicting || st == TenantEvicted {
+		return // don't resurrect a VM on its way out the door
+	}
 	cfg := t.Config()
 	backoff := time.Millisecond
 	for attempt := 0; attempt < 3; attempt++ {
@@ -457,7 +536,9 @@ func (s *Server) UpdateTenant(name string, tc TenantConfig) error {
 	sameSession := tc.Workload == old.Workload && tc.Policy == old.Policy &&
 		tc.HeapLimit == old.HeapLimit && tc.MarkMode == old.MarkMode &&
 		tc.GCWorkers == old.GCWorkers && tc.DiskLimit == old.DiskLimit &&
-		tc.AuditEveryGC == old.AuditEveryGC
+		tc.AuditEveryGC == old.AuditEveryGC &&
+		tc.Pipeline == old.Pipeline && tc.Workers == old.Workers &&
+		tc.QueueDepth == old.QueueDepth
 	if sameSession {
 		t.cfgMu.Lock()
 		t.cfg = tc
@@ -470,8 +551,9 @@ func (s *Server) UpdateTenant(name string, tc TenantConfig) error {
 		s.logf("tenant %s config updated in place", name)
 		return nil
 	}
-	// Session swap: serialize against requests via the tenant lock.
-	if !t.acquire(s.cfg.DrainTimeout) {
+	// Session swap: serialize against requests via the tenant lock, and —
+	// for a concurrent pipeline — wait out the worker pool too.
+	if !t.exclusive(s.cfg.DrainTimeout) {
 		return &WatchdogTimeoutError{Tenant: name, Timeout: s.cfg.DrainTimeout}
 	}
 	defer t.release()
@@ -481,6 +563,7 @@ func (s *Server) UpdateTenant(name string, tc TenantConfig) error {
 	t.cfgMu.Lock()
 	t.cfg = tc
 	t.cfgMu.Unlock()
+	t.reshapePipeline(tc)
 	// Un-quarantine on an explicit operator-driven session swap: a fresh VM
 	// deserves a fresh fault budget.
 	t.consecFaults.Store(0)
@@ -512,11 +595,11 @@ func (s *Server) EvictTenant(name, reason string) ([]string, error) {
 		// drain must take the cancellation path.
 		drain = time.Nanosecond
 	}
-	if !t.acquire(drain) {
-		// Overstaying request: cancel at the next iteration boundary and
-		// wait out the remainder of the drain for it to let go.
+	if !t.exclusive(drain) {
+		// Overstaying request(s): cancel at the next iteration boundary and
+		// wait out the remainder of the drain for them to let go.
 		t.cancel.Store(true)
-		if !t.acquire(s.cfg.DrainTimeout) {
+		if !t.exclusive(s.cfg.DrainTimeout) {
 			// Still wedged. Mark evicted anyway — the slot must come back —
 			// but report it loudly.
 			t.state.Store(int32(TenantEvicted))
@@ -542,13 +625,16 @@ func (s *Server) EvictTenant(name, reason string) ([]string, error) {
 	return nil, nil
 }
 
-// dropTenant removes the table entry and zeroes the tenant's gauges.
+// dropTenant removes the table entry, stops the worker pool, and zeroes
+// the tenant's gauges.
 func (s *Server) dropTenant(name string, t *Tenant) {
 	s.mu.Lock()
 	delete(s.tenants, name)
 	s.mu.Unlock()
+	t.closePipeline()
 	s.gTenants.Add(-1)
 	t.residentGauge.Set(0)
+	t.queueDepth.Set(0)
 }
 
 // Tenants snapshots every tenant's status, sorted by name.
@@ -662,7 +748,7 @@ func (s *Server) shutdown() (*ShutdownReport, error) {
 	for name, t := range tenants {
 		rep.Tenants++
 		rep.CancelledInDrain += t.cancelled.Load()
-		if !t.acquire(s.cfg.DrainTimeout) {
+		if !t.exclusive(s.cfg.DrainTimeout) {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("server: tenant %q still busy at shutdown audit", name)
 			}
@@ -682,6 +768,7 @@ func (s *Server) shutdown() (*ShutdownReport, error) {
 			}
 		}
 		t.release()
+		t.closePipeline()
 	}
 	s.logf("shutdown complete: %d tenants, drained cleanly=%v, cancelled=%d",
 		rep.Tenants, rep.DrainedCleanly, rep.CancelledInDrain)

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,6 +75,22 @@ type TenantConfig struct {
 	DiskLimit uint64 `json:"disk_limit,omitempty"`
 	// AuditEveryGC arms the heap invariant audit inside every collection.
 	AuditEveryGC bool `json:"audit_every_gc,omitempty"`
+	// Pipeline selects the request execution model: "" or "serial" (the
+	// default — one request at a time behind the exclusive tenant lock,
+	// which keeps per-tenant behavior deterministic and serves as the
+	// equivalence oracle), or "concurrent" (a pool of Workers session
+	// threads fed by a bounded queue, so small requests stop waiting
+	// head-of-line behind large ones).
+	Pipeline string `json:"pipeline,omitempty"`
+	// Workers is the concurrent pipeline's pool size K (0 = 4). Each
+	// worker drives its own independent session of the workload inside the
+	// tenant VM — the multi-thread mutator shape the safepoint protocol
+	// makes sound. Rejected unless Pipeline is "concurrent".
+	Workers int `json:"workers,omitempty"`
+	// QueueDepth bounds the concurrent pipeline's request queue
+	// (0 = 4*Workers). A full queue sheds the request with a typed
+	// *QueueFullError (HTTP 429). Rejected unless Pipeline is "concurrent".
+	QueueDepth int `json:"queue_depth,omitempty"`
 
 	// VMInjector arms fault injection inside this tenant's VM (nil = off).
 	VMInjector *faultinject.Injector `json:"-"`
@@ -124,10 +141,45 @@ func (tc TenantConfig) vmOptions(o *obs.Obs) (vm.Options, error) {
 	default:
 		return vm.Options{}, fmt.Errorf("server: unknown mark mode %q", tc.MarkMode)
 	}
+	switch tc.Pipeline {
+	case "", PipelineSerial:
+		if tc.Workers != 0 || tc.QueueDepth != 0 {
+			return vm.Options{}, fmt.Errorf("server: Workers/QueueDepth require pipeline %q", PipelineConcurrent)
+		}
+	case PipelineConcurrent:
+		if tc.Workers < 0 || tc.QueueDepth < 0 {
+			return vm.Options{}, fmt.Errorf("server: Workers and QueueDepth must be non-negative")
+		}
+	default:
+		return vm.Options{}, fmt.Errorf("server: unknown pipeline %q", tc.Pipeline)
+	}
 	if err := vm.ValidateOptions(opts); err != nil {
 		return vm.Options{}, err
 	}
 	return opts, nil
+}
+
+// Pipeline modes for TenantConfig.Pipeline.
+const (
+	PipelineSerial     = "serial"
+	PipelineConcurrent = "concurrent"
+)
+
+// pipelineSettings resolves the Pipeline/Workers/QueueDepth triple with
+// its defaults applied.
+func (tc TenantConfig) pipelineSettings() (concurrent bool, workers, depth int) {
+	if tc.Pipeline != PipelineConcurrent {
+		return false, 0, 0
+	}
+	workers = tc.Workers
+	if workers == 0 {
+		workers = 4
+	}
+	depth = tc.QueueDepth
+	if depth == 0 {
+		depth = 4 * workers
+	}
+	return true, workers, depth
 }
 
 // Tenant is one hosted session: a VM, its workload program, and the
@@ -141,7 +193,11 @@ type Tenant struct {
 	cfgMu sync.Mutex
 	cfg   TenantConfig
 
-	// lockCh is the request lock: one token means "free".
+	// lockCh is the request lock: one token means "free". Serial-pipeline
+	// requests hold it for their whole execution; concurrent-pipeline
+	// requests never take it (the worker pool owns execution), so
+	// maintenance paths that need full quiescence go through exclusive(),
+	// which takes lockCh AND drains the pipeline's pending counter.
 	lockCh chan struct{}
 
 	// vmMu guards the vm/program pointers only (held for pointer swaps and
@@ -151,6 +207,21 @@ type Tenant struct {
 	vm    *vm.VM
 	prog  workload.Program
 	ready bool // Setup has run on the current session
+
+	// sessionEpoch increments on every startSession. Pipeline workers
+	// compare it against their private session's epoch to rebind lazily
+	// after an OOM restart or rolling swap, and restartSession uses it to
+	// dedupe concurrent restart attempts from sibling workers.
+	sessionEpoch atomic.Int64
+	// restartMu serializes restartSession: with K workers, two requests
+	// can OOM on the same session back to back.
+	restartMu sync.Mutex
+
+	// pipeMu guards the pipe pointer and orders enqueues against pipeline
+	// close/reshape: enqueue happens under the read side, so once a writer
+	// holds pipeMu no request can land on a pipeline it is about to close.
+	pipeMu sync.RWMutex
+	pipe   *pipeline // nil = serial
 
 	state atomic.Int32 // TenantState
 
@@ -179,6 +250,13 @@ type Tenant struct {
 
 	// residentGauge is this tenant's lp_tenant_resident_bytes series.
 	residentGauge *obs.Gauge
+	// latency holds the tenant's lp_request_latency_ns series, one per
+	// budget-ladder level; queueWait and queueDepth instrument the
+	// concurrent pipeline (registered even for serial tenants so a rolling
+	// swap to concurrent needs no re-registration).
+	latency    [ladderLevels]*obs.Histogram
+	queueWait  *obs.Histogram
+	queueDepth *obs.Gauge
 }
 
 // newTenant builds the tenant shell and its first session VM.
@@ -187,8 +265,17 @@ func newTenant(s *Server, cfg TenantConfig) (*Tenant, error) {
 	t.lockCh <- struct{}{} // free
 	t.residentGauge = s.reg().NewGauge("lp_tenant_resident_bytes",
 		"per-tenant resident heap bytes", obs.L("tenant", cfg.Name))
+	t.queueWait = s.reg().NewHistogram("lp_request_queue_wait_ns",
+		"time requests spent queued in the tenant pipeline", obs.LatencyBucketsNs,
+		obs.L("tenant", cfg.Name))
+	t.queueDepth = s.reg().NewGauge("lp_request_queue_depth",
+		"requests waiting in the tenant pipeline queue", obs.L("tenant", cfg.Name))
+	s.registerLatencySeries(t, cfg.Name)
 	if err := t.startSession(cfg); err != nil {
 		return nil, err
+	}
+	if conc, workers, depth := cfg.pipelineSettings(); conc {
+		t.pipe = newPipeline(t, workers, depth)
 	}
 	return t, nil
 }
@@ -217,6 +304,8 @@ func (t *Tenant) startSession(cfg TenantConfig) error {
 	t.ready = false
 	t.vmMu.Unlock()
 	t.iter = 0
+	// Pipeline workers rebind their private sessions on the next request.
+	t.sessionEpoch.Add(1)
 	return nil
 }
 
@@ -265,6 +354,37 @@ func (t *Tenant) acquire(d time.Duration) bool {
 
 func (t *Tenant) release() { t.lockCh <- struct{}{} }
 
+// exclusive acquires the tenant for maintenance (session swap, eviction
+// drain, shutdown audit): the request lock, plus — when a concurrent
+// pipeline is attached — full quiescence of the worker pool. Serial
+// requests hold lockCh for their whole execution, so the lock alone
+// excludes them; pipelined requests never touch it, so quiescence there
+// is "no request enqueued or in flight", i.e. the pipeline's pending
+// counter at zero. Callers must t.release() on success.
+func (t *Tenant) exclusive(d time.Duration) bool {
+	var deadline time.Time
+	if d > 0 {
+		deadline = time.Now().Add(d)
+	}
+	if !t.acquire(d) {
+		return false
+	}
+	t.pipeMu.RLock()
+	p := t.pipe
+	t.pipeMu.RUnlock()
+	if p == nil {
+		return true
+	}
+	for p.pending.Load() != 0 {
+		if d > 0 && time.Now().After(deadline) {
+			t.release()
+			return false
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return true
+}
+
 // setLastErr records the most recent fault for /tenants.
 func (t *Tenant) setLastErr(err error) {
 	t.lastErrMu.Lock()
@@ -284,9 +404,42 @@ func (t *Tenant) LastError() string {
 	return t.lastErr
 }
 
-// serve executes one request (iters workload iterations) on the session.
-// Caller holds the request lock. The three failure classes are kept apart
-// deliberately:
+// execState is one request-execution context: a VM, a program instance,
+// and the session's iteration cursor. The serial path materializes it
+// from the tenant fields each request; every pipeline worker owns a
+// private one, so K workers drive K independent sessions of the workload
+// inside the one tenant VM.
+type execState struct {
+	machine *vm.VM
+	prog    workload.Program
+	ready   bool // Setup has run for this session
+	iter    int  // the session's absolute iteration cursor
+}
+
+// serve executes one request (iters workload iterations) on the tenant's
+// serial session. Caller holds the request lock.
+func (t *Tenant) serve(iters int) (done int, err error) {
+	t.vmMu.Lock()
+	st := execState{machine: t.vm, prog: t.prog, ready: t.ready, iter: t.iter}
+	t.vmMu.Unlock()
+	reqName := fmt.Sprintf("%s/req-%d", t.Config().Name, t.requests.Load())
+	st, done, err = t.executeRequest(st, reqName, iters, false, func() bool {
+		return t.cancel.Load() || t.srv.cancelAll.Load()
+	})
+	t.vmMu.Lock()
+	if t.vm == st.machine { // session not swapped out from under the request
+		t.ready = st.ready
+	}
+	t.vmMu.Unlock()
+	t.iter = st.iter
+	return done, err
+}
+
+// executeRequest runs one request against st and returns the advanced
+// state. It is the shared core of the serial path and the pipeline
+// workers — panic recovery and error typing are identical on both, which
+// is what keeps the serial pipeline a meaningful equivalence oracle. The
+// three failure classes are kept apart deliberately:
 //
 //   - VM traps (OutOfMemoryError, InternalError, OffloadError) arrive as
 //     typed errors from RunThread — the leak-pruning outcome the daemon
@@ -294,46 +447,58 @@ func (t *Tenant) LastError() string {
 //   - raw panics (the TenantRequestPanic injection stands in for handler
 //     bugs) are recovered HERE, at the tenant boundary, and converted to
 //     *RequestPanicError — the crash-isolation guarantee;
-//   - drain cancellation surfaces as *RequestCancelledError at an
-//     iteration boundary.
-func (t *Tenant) serve(iters int) (done int, err error) {
+//   - cancellation (drain, eviction, watchdog abandonment) surfaces as
+//     *RequestCancelledError at an iteration boundary.
+//
+// yield inserts a cooperative scheduling point after every iteration.
+// Pipeline workers set it: on an oversubscribed host the Go scheduler's
+// preemption slice (~10ms) is three orders of magnitude coarser than one
+// workload iteration, so without an explicit yield a long request holds
+// the processor for whole slices and small requests on sibling workers
+// wait out full scheduler rounds — head-of-line blocking reintroduced by
+// the runtime after the pipeline removed it from the lock. Yielding at
+// iteration granularity lets the run queue rotate per ~25µs of work. The
+// serial path never yields: it is the preserved baseline the pipeline is
+// measured against, and with one session thread there is nobody to yield
+// to.
+func (t *Tenant) executeRequest(st execState, reqName string, iters int, yield bool, cancelled func() bool) (out execState, done int, err error) {
 	cfg := t.Config()
 	defer func() {
+		// A panic escapes with the closure's st mutations intact, so the
+		// session cursor keeps the progress made before the blowup.
+		out = st
 		if r := recover(); r != nil {
 			err = &RequestPanicError{Tenant: cfg.Name, Panic: fmt.Sprint(r)}
 		}
 	}()
-	t.vmMu.Lock()
-	machine, prog, ready := t.vm, t.prog, t.ready
-	t.vmMu.Unlock()
-	reqName := fmt.Sprintf("%s/req-%d", cfg.Name, t.requests.Load())
-	runErr := machine.RunThread(reqName, func(th *vm.Thread) {
+	runErr := st.machine.RunThread(reqName, func(th *vm.Thread) {
 		if cfg.DaemonInjector.Should(faultinject.TenantRequestPanic) {
 			panic(fmt.Sprintf("faultinject: tenant %s request handler panic", cfg.Name))
 		}
-		if !ready {
-			th.Scope(func() { prog.Setup(th) })
-			t.vmMu.Lock()
-			t.ready = true
-			t.vmMu.Unlock()
+		if !st.ready {
+			th.Scope(func() { st.prog.Setup(th) })
+			st.ready = true
 		}
 		for i := 0; i < iters; i++ {
-			if t.cancel.Load() || t.srv.cancelAll.Load() {
+			if cancelled() {
 				return
 			}
-			th.Scope(func() { prog.Iterate(th, t.iter) })
-			t.iter++
+			th.Scope(func() { st.prog.Iterate(th, st.iter) })
+			st.iter++
 			done = i + 1
+			if yield {
+				runtime.Gosched()
+			}
 		}
 	})
 	if runErr != nil {
-		return done, runErr
+		return st, done, runErr
 	}
 	if done < iters {
 		t.cancelled.Add(1)
-		return done, &RequestCancelledError{Tenant: cfg.Name, IterationsDone: done}
+		return st, done, &RequestCancelledError{Tenant: cfg.Name, IterationsDone: done}
 	}
-	return done, nil
+	return st, done, nil
 }
 
 // recordOutcome updates fault bookkeeping after a request and flips the
@@ -362,6 +527,8 @@ type TenantStatus struct {
 	Workload   string  `json:"workload"`
 	Policy     string  `json:"policy"`
 	State      string  `json:"state"`
+	Pipeline   string  `json:"pipeline"`
+	Workers    int     `json:"workers,omitempty"`
 	HeapLimit  uint64  `json:"heap_limit"`
 	Resident   uint64  `json:"resident_bytes"`
 	NearlyFull float64 `json:"nearly_full_fraction"`
@@ -373,12 +540,18 @@ type TenantStatus struct {
 	Restarts     uint64 `json:"session_restarts"`
 	Cancelled    uint64 `json:"cancelled_requests"`
 
-	Collections uint64 `json:"collections"`
-	PrunedRefs  uint64 `json:"pruned_refs"`
-	PoisonTraps uint64 `json:"poison_traps"`
-	Cycles      int    `json:"live_hash_cycles"`
-	LastError   string `json:"last_error,omitempty"`
+	Collections     uint64 `json:"collections"`
+	PrunedRefs      uint64 `json:"pruned_refs"`
+	PoisonTraps     uint64 `json:"poison_traps"`
+	AuditsRun       uint64 `json:"audits_run,omitempty"`
+	AuditViolations uint64 `json:"audit_violations,omitempty"`
+	Cycles          int    `json:"live_hash_cycles"`
+	LastError       string `json:"last_error,omitempty"`
 }
+
+// Status snapshots the tenant: the /tenants JSON row, also what the chaos
+// and load-generation harnesses read their oracles from.
+func (t *Tenant) Status() TenantStatus { return t.status() }
 
 // status snapshots the tenant for /tenants and logs.
 func (t *Tenant) status() TenantStatus {
@@ -389,6 +562,7 @@ func (t *Tenant) status() TenantStatus {
 		Workload:     cfg.Workload,
 		Policy:       policyLabel(cfg.Policy),
 		State:        t.State().String(),
+		Pipeline:     PipelineSerial,
 		HeapLimit:    cfg.HeapLimit,
 		Requests:     t.requests.Load(),
 		Faults:       t.faults.Load(),
@@ -396,6 +570,10 @@ func (t *Tenant) status() TenantStatus {
 		Restarts:     t.restarts.Load(),
 		Cancelled:    t.cancelled.Load(),
 		LastError:    t.LastError(),
+	}
+	if conc, workers, _ := cfg.pipelineSettings(); conc {
+		st.Pipeline = PipelineConcurrent
+		st.Workers = workers
 	}
 	if machine != nil {
 		st.Resident = machine.HeapStats().BytesUsed
@@ -405,6 +583,8 @@ func (t *Tenant) status() TenantStatus {
 		st.Collections = vs.Collections
 		st.PrunedRefs = vs.PrunedRefs
 		st.PoisonTraps = vs.PoisonTraps
+		st.AuditsRun = vs.AuditsRun
+		st.AuditViolations = vs.AuditViolations
 	}
 	t.hashMu.Lock()
 	st.Cycles = len(t.hashes)

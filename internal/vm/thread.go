@@ -529,13 +529,13 @@ func (t *Thread) SizeOf(a heap.Ref) uint64 {
 func (t *Thread) LoadGlobal(g int) heap.Ref {
 	v := t.vm
 	t.beginOp()
-	if uint(g) >= uint(len(v.globals)) {
+	if int64(uint(g)) >= v.globalCount.Load() {
 		t.trapBadGlobal(g)
 	}
 	if t.rec != nil {
 		t.rec.LoadGlobal(g)
 	}
-	r := t.root(heap.Ref(atomic.LoadUint64(&v.globals[g])))
+	r := t.root(heap.Ref(atomic.LoadUint64(v.globalSlot(g))))
 	t.endOp()
 	return r
 }
@@ -544,13 +544,13 @@ func (t *Thread) LoadGlobal(g int) heap.Ref {
 func (t *Thread) StoreGlobal(g int, r heap.Ref) {
 	v := t.vm
 	t.beginOp()
-	if uint(g) >= uint(len(v.globals)) {
+	if int64(uint(g)) >= v.globalCount.Load() {
 		t.trapBadGlobal(g)
 	}
 	if t.rec != nil {
 		t.rec.StoreGlobal(g, uint64(r.ID()))
 	}
-	atomic.StoreUint64(&v.globals[g], uint64(r.Untagged()))
+	atomic.StoreUint64(v.globalSlot(g), uint64(r.Untagged()))
 	t.endOp()
 }
 
@@ -560,5 +560,5 @@ func (t *Thread) StoreGlobal(g int, r heap.Ref) {
 //go:noinline
 func (t *Thread) trapBadGlobal(g int) {
 	t.endOp()
-	panic(fmt.Sprintf("vm: global %d out of range (%d globals)", g, len(t.vm.globals)))
+	panic(fmt.Sprintf("vm: global %d out of range (%d globals)", g, t.vm.globalCount.Load()))
 }

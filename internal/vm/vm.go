@@ -123,8 +123,17 @@ type VM struct {
 		barrierHits uint64
 	}
 
-	globalMu sync.Mutex
-	globals  []uint64
+	// The global root table is chunked so that a published slot's address
+	// never changes: AddGlobal (serialized by globalMu) installs fixed-size
+	// chunks into a fixed-length spine and only then publishes the new
+	// count, while mutator threads Load/StoreGlobal through atomic chunk
+	// pointers with no lock at all. A flat append-grown slice would move
+	// the backing array under concurrent readers — with K pipeline worker
+	// sessions per VM, AddGlobal during one session's Setup races another
+	// session's loads.
+	globalMu    sync.Mutex
+	globalCount atomic.Int64
+	globalSpine [globalSpineLen]atomic.Pointer[globalChunk]
 
 	finalMu    sync.Mutex
 	finalizers map[heap.ObjectID]func(FinalizerInfo)
@@ -400,14 +409,40 @@ func (v *VM) LastFinalizerPanic() string {
 	return ""
 }
 
+// Global root table geometry: 64 spine entries of 1024 slots each.
+const (
+	globalChunkShift = 10
+	globalChunkLen   = 1 << globalChunkShift
+	globalSpineLen   = 64
+)
+
+// globalChunk is one fixed block of global root slots. Slots are only
+// accessed with atomic loads/stores, and a chunk, once installed in the
+// spine, is never replaced.
+type globalChunk [globalChunkLen]uint64
+
+// globalSlot returns the address of global g. Callers must have
+// bounds-checked g against globalCount, which is published only after the
+// containing chunk is installed.
+func (v *VM) globalSlot(g int) *uint64 {
+	return &v.globalSpine[g>>globalChunkShift].Load()[g&(globalChunkLen-1)]
+}
+
 // AddGlobal adds a global (static) root slot and returns its index.
 func (v *VM) AddGlobal() int {
 	v.lockOutSTW()
 	defer v.unlockOutSTW()
 	v.globalMu.Lock()
 	defer v.globalMu.Unlock()
-	v.globals = append(v.globals, 0)
-	idx := len(v.globals) - 1
+	idx := int(v.globalCount.Load())
+	ci := idx >> globalChunkShift
+	if ci >= globalSpineLen {
+		panic(fmt.Sprintf("vm: global table full (%d slots)", globalSpineLen*globalChunkLen))
+	}
+	if v.globalSpine[ci].Load() == nil {
+		v.globalSpine[ci].Store(new(globalChunk))
+	}
+	v.globalCount.Store(int64(idx + 1)) // publish after the chunk exists
 	v.recorder.AddGlobal(idx)
 	return idx
 }
@@ -465,11 +500,13 @@ func (rv *rootVisitor) VisitRoots(fn func(heap.Ref)) {
 	for _, t := range threads {
 		t.visitRoots(fn)
 	}
-	v.globalMu.Lock()
-	for i := range v.globals {
-		fn(heap.Ref(atomic.LoadUint64(&v.globals[i])))
+	// Lock-free by construction: the count was published after its chunk,
+	// and AddGlobal holds the STW owner lock, so no slot can appear while
+	// a collection is scanning roots.
+	n := int(v.globalCount.Load())
+	for i := 0; i < n; i++ {
+		fn(heap.Ref(atomic.LoadUint64(v.globalSlot(i))))
 	}
-	v.globalMu.Unlock()
 }
 
 // softTrigger computes the next collection threshold from the live bytes

@@ -20,12 +20,12 @@ func reasonOutcome(r harness.EndReason) workload.Outcome {
 	}
 }
 
-// TestCorpusRegistry: the taxonomy corpus covers all four leak families and
+// TestCorpusRegistry: the taxonomy corpus covers all five leak families and
 // every entry declares outcomes for the three policies plus "off".
 func TestCorpusRegistry(t *testing.T) {
 	corpus := workload.Corpus()
-	if len(corpus) != 4 {
-		t.Fatalf("corpus has %d entries, want 4: %+v", len(corpus), corpus)
+	if len(corpus) != 5 {
+		t.Fatalf("corpus has %d entries, want 5: %+v", len(corpus), corpus)
 	}
 	seen := map[workload.Taxonomy]bool{}
 	for _, e := range corpus {
@@ -42,6 +42,7 @@ func TestCorpusRegistry(t *testing.T) {
 	for _, tax := range []workload.Taxonomy{
 		workload.TaxCollection, workload.TaxListener,
 		workload.TaxCache, workload.TaxThreadLocal,
+		workload.TaxQueue,
 	} {
 		if !seen[tax] {
 			t.Errorf("taxonomy class %s has no corpus program", tax)

@@ -115,6 +115,9 @@ const (
 	TaxCache Taxonomy = "cache-without-eviction"
 	// TaxThreadLocal: per-thread state that outlives the work it served.
 	TaxThreadLocal Taxonomy = "thread-local"
+	// TaxQueue: a bounded work queue whose completion log grows without
+	// bound — the queue drains, the bookkeeping never does.
+	TaxQueue Taxonomy = "unbounded-queue"
 )
 
 // Outcome is the expected end state of a corpus program under a policy.
